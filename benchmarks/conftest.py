@@ -1,0 +1,27 @@
+"""Benchmark configuration.
+
+Set ``REPRO_BENCH_FULL=1`` to run every experiment at the paper's full
+sweep resolution; the default keeps each benchmark to roughly a minute
+so ``pytest benchmarks/ --benchmark-only`` completes in reasonable time.
+"""
+
+import os
+
+import pytest
+
+QUICK = os.environ.get("REPRO_BENCH_FULL", "0") != "1"
+
+
+@pytest.fixture(scope="session")
+def quick_mode():
+    return QUICK
+
+
+def run_experiment(benchmark, module, **kwargs):
+    """Run an experiment module once under pytest-benchmark and print
+    the paper-style rows it regenerates."""
+    result = benchmark.pedantic(
+        lambda: module.run(quick=QUICK, **kwargs), rounds=1, iterations=1)
+    print()
+    print(module.render(result))
+    return result

@@ -1,0 +1,31 @@
+"""Figures 3 & 4: existing simulators vs the real device."""
+
+from repro.experiments import fig03_04_baselines as experiment
+
+from benchmarks.conftest import run_experiment
+
+
+def test_fig03_04_baseline_comparison(benchmark):
+    result = run_experiment(benchmark, experiment)
+    trends = result["trend_classes"]
+    # the paper's trend classes: MQSim/SSDSim climb linearly,
+    # SSD-Extension/FlashSim stay flat, none matches the real device
+    assert trends["mqsim"] == "linear"
+    assert trends["ssdsim"] == "linear"
+    assert trends["flashsim"] == "constant"
+    assert trends["ssd-extension"] == "constant"
+
+    depths = result["depths"]
+    for sim in ("mqsim", "ssdsim", "ssd-extension", "flashsim"):
+        # a simulator may track the real device on one pattern (the
+        # paper's MQSim error starts at 3%), but across the full
+        # read/write grid the disparity must be large somewhere
+        errors = []
+        for pattern, per_sim in result["patterns"].items():
+            real = per_sim["real-device"]
+            curve = per_sim[sim]
+            errors.extend(
+                abs(curve[d]["bandwidth_mbps"] - real[d]["bandwidth_mbps"])
+                / real[d]["bandwidth_mbps"] for d in depths)
+        assert max(errors) > 0.3, \
+            f"{sim} unexpectedly matches the real device everywhere"

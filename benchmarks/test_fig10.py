@@ -1,0 +1,20 @@
+"""Figure 10: block-size sweep validation."""
+
+from repro.experiments import fig10_blocksize as experiment
+
+from benchmarks.conftest import run_experiment
+
+
+def test_fig10_blocksize(benchmark):
+    result = run_experiment(benchmark, experiment)
+    for device, per_pattern in result["devices"].items():
+        # bandwidth must grow with block size for sequential reads
+        curve = per_pattern["seqread"]
+        sizes = sorted(curve)
+        assert curve[sizes[-1]]["bandwidth_mbps"] > \
+            curve[sizes[0]]["bandwidth_mbps"], device
+    # paper: mean error stays in a reasonable range (≈6-14%); we allow a
+    # wider but still bounded band for the reproduction
+    for device, summary in result["error_summary"].items():
+        assert summary["mean_error"] < 0.45, (
+            f"{device}: mean error {summary['mean_error']:.2f}")

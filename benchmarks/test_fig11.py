@@ -1,0 +1,21 @@
+"""Figure 11: over-provisioning sweep under steady-state random writes."""
+
+from repro.experiments import fig11_overprovision as experiment
+
+from benchmarks.conftest import run_experiment
+
+
+def test_fig11_overprovision(benchmark):
+    result = run_experiment(benchmark, experiment)
+    normalized = result["normalized"]
+    sizes = result["sizes"]
+    kb = sizes[0] // 1024
+    # monotone: less over-provisioning -> lower normalized bandwidth
+    assert normalized[0.20][kb] >= normalized[0.10][kb] >= normalized[0.05][kb]
+    # the paper reports significant drops at 5% OP
+    assert normalized[0.05][kb] < 0.9
+    # GC must actually have run in the stressed configurations
+    assert result["bandwidth"][0.05][kb]["gc_runs"] > 0
+    # write amplification grows as OP shrinks
+    assert (result["bandwidth"][0.05][kb]["write_amplification"]
+            >= result["bandwidth"][0.20][kb]["write_amplification"])

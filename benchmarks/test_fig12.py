@@ -1,0 +1,24 @@
+"""Figure 12: kernel 4.4 (CFQ) vs 4.14 (BFQ) on enterprise workloads."""
+
+from repro.experiments import fig12_os_impact as experiment
+
+from benchmarks.conftest import run_experiment
+
+
+def test_fig12_os_impact(benchmark):
+    result = run_experiment(benchmark, experiment)
+    speed = result["speedup_4_14"]
+    # paper: 4.4 worse by 63% (reads) / 69% (writes), i.e. 4.14 is
+    # ~2.7x / ~3.2x faster; accept a band around that
+    assert 1.8 < speed["read"] < 5.0, speed
+    assert 1.8 < speed["write"] < 5.0, speed
+    # 4.14 must win on every cell, with a small tolerance for workloads
+    # that saturate the interface under both kernels (e.g. DAP's large
+    # sequential transfers peg the SATA PHY either way — the paper also
+    # shows DAP as the least-affected workload)
+    for (interface, kernel, name), point in result["data"].items():
+        if kernel != "4.4":
+            continue
+        newer = result["data"][(interface, "4.14", name)]
+        assert newer["total_mbps"] > 0.9 * point["total_mbps"], \
+            (interface, name)

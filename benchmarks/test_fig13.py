@@ -1,0 +1,23 @@
+"""Figure 13: handheld (UFS) vs general computing (NVMe)."""
+
+from repro.experiments import fig13_mobile as experiment
+
+from benchmarks.conftest import run_experiment
+
+
+def test_fig13_mobile_vs_pc(benchmark):
+    result = run_experiment(benchmark, experiment)
+    summary = result["summary"]
+    # (a) NVMe beats UFS overall (paper: 1.81x)
+    assert 1.2 < summary["nvme_over_ufs"] < 3.0
+    # (b) the embedded CPU is the most power-hungry SSD component
+    for interface, power in result["power"].items():
+        assert power["cpu"] >= power["dram"], interface
+        assert power["cpu"] > 0 and power["nand"] > 0
+    # UFS total power sits around the ~2 W the paper reports
+    assert 0.5 < result["power"]["ufs"]["total"] < 4.0
+    # (c) loads+stores dominate (~60%) and NVMe runs several times more
+    # instructions per second than UFS (paper: 5.45x)
+    for fraction in summary["load_store_fraction"].values():
+        assert 0.45 < fraction < 0.75
+    assert summary["instr_rate_ratio"] > 2.0

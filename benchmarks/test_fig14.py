@@ -1,0 +1,22 @@
+"""Figure 14: host CPU frequency sweep on the fastest SSD."""
+
+from repro.experiments import fig14_frequency as experiment
+
+from benchmarks.conftest import run_experiment
+
+
+def test_fig14_frequency_sweep(benchmark):
+    result = run_experiment(benchmark, experiment)
+    freqs = result["frequencies_ghz"]
+    user = result["user_level_mbps"]
+    device = result["device_level_mbps"]
+    interface = result["interface_level_mbps"]
+    # ordering: device capability > interface-level > user-level at low GHz
+    assert device > interface
+    assert interface >= user[freqs[0]]
+    # user-level improves with host frequency...
+    assert user[freqs[-1]] > user[freqs[0]]
+    # ...but never reaches device-level (paper: still -29% at 8 GHz)
+    assert user[freqs[-1]] < device
+    # loss at the lowest frequency is substantial (paper: 41% at 2 GHz)
+    assert result["degradation"][freqs[0]] > 0.25

@@ -1,0 +1,20 @@
+"""Figure 15: passive (OCSSD/pblk) vs active (NVMe) storage."""
+
+from repro.experiments import fig15_passive_active as experiment
+
+from benchmarks.conftest import run_experiment
+
+
+def test_fig15_passive_vs_active(benchmark):
+    result = run_experiment(benchmark, experiment)
+    summary = result["summary"]
+    # (a) OCSSD wins small I/O (paper ~1.3x), NVMe wins large (paper ~1.2x)
+    assert summary["ocssd_advantage_4k"] > 1.0
+    # (b) the passive architecture burns far more kernel CPU
+    assert summary["kernel_cpu"]["ocssd"] > 2 * summary["kernel_cpu"]["nvme"]
+    assert summary["kernel_cpu"]["ocssd"] > 0.10
+    # (c) pblk's buffer shows up as host memory the NVMe path doesn't pay
+    # in the driver column; both timelines are non-trivial
+    for interface in ("nvme", "ocssd"):
+        assert result["phases"][interface]["memory_peak_mb"] > 1
+    assert len(result["phases"]["ocssd"]["cpu_timeline"]) >= 2

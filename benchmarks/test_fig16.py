@@ -1,0 +1,20 @@
+"""Figure 16: simulation speed comparison."""
+
+from repro.experiments import fig16_simspeed as experiment
+
+from benchmarks.conftest import run_experiment
+
+
+def test_fig16_simulation_speed(benchmark):
+    result = run_experiment(benchmark, experiment)
+    sims = result["simulators"]
+    # detail costs events: the full system processes far more events per
+    # I/O than any standalone replayer (the paper's gem5+Amber panel)
+    assert sims["amber-fullsystem"]["events"] > \
+        sims["amber-standalone"]["events"]
+    for name in ("flashsim", "ssd-extension", "ssdsim", "mqsim"):
+        assert sims["amber-fullsystem"]["events"] > sims[name]["events"], name
+    # every simulator actually ran
+    for name, data in sims.items():
+        assert data["wall_seconds"] > 0, name
+        assert data["events"] > 0, name

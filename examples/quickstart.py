@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""Quickstart: simulate FIO on an NVMe SSD inside a full system.
+
+Builds the Intel 750 preset behind NVMe on the Table II PC platform,
+preconditions it to steady state, runs 4 KB random reads at a few queue
+depths, and prints bandwidth/latency plus the SSD-internal reports
+(power, firmware instructions, cache/FTL statistics) that only a
+full-resource model like Amber can produce.
+"""
+
+from repro.core import FioJob, FullSystem, presets
+
+
+def main() -> None:
+    print("Amber reproduction quickstart")
+    print("=" * 60)
+
+    for depth in (1, 8, 32):
+        system = FullSystem(device=presets.intel750(), interface="nvme")
+        system.precondition()          # STEADY-STATE: device fully filled
+        result = system.run_fio(FioJob(rw="randread", bs=4096,
+                                       iodepth=depth, total_ios=1500))
+        print(f"\n4K random read, iodepth={depth}")
+        print(f"  bandwidth : {result.bandwidth_mbps:8.1f} MB/s")
+        print(f"  IOPS      : {result.iops:8.0f}")
+        print(f"  latency   : mean {result.latency.mean_us():6.1f} us, "
+              f"p99 {result.latency.percentile(99) / 1000:6.1f} us")
+        print(f"  host CPU  : {result.host_kernel_utilization * 100:5.1f}% "
+              "kernel time")
+
+    power = result.ssd_power
+    print("\nSSD internals at iodepth=32 "
+          "(what full-resource modeling buys you):")
+    print(f"  power     : CPU {power['cpu']:.2f} W, DRAM {power['dram']:.2f} W, "
+          f"NAND {power['nand']:.2f} W")
+    instr = result.ssd_instructions
+    print(f"  firmware  : {instr['total']:,} instructions "
+          f"({instr['load'] + instr['store']:,} loads/stores)")
+    stats = result.ssd_stats
+    print(f"  cache     : hit rate {stats['cache_hit_rate'] * 100:.1f}%, "
+          f"{stats['readaheads']} readahead pages")
+    print(f"  flash     : {stats['flash_reads']} reads, "
+          f"{stats['flash_programs']} programs, "
+          f"{stats['flash_erases']} erases")
+
+
+if __name__ == "__main__":
+    main()

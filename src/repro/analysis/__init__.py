@@ -1,0 +1,7 @@
+"""Result rendering and comparison utilities."""
+
+from repro.analysis.tables import format_series, format_table
+from repro.analysis.featurematrix import FEATURES, SIMULATOR_FEATURES, feature_table
+
+__all__ = ["format_table", "format_series", "FEATURES",
+           "SIMULATOR_FEATURES", "feature_table"]

@@ -1,0 +1,47 @@
+"""Plain-text rendering of result tables and figure series."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence],
+                 title: str = "") -> str:
+    """Render rows as an aligned ASCII table."""
+    cells = [[str(h) for h in headers]]
+    for row in rows:
+        cells.append([_fmt(value) for value in row])
+    widths = [max(len(row[col]) for row in cells)
+              for col in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(c.ljust(w) for c, w in zip(cells[0], widths)))
+    lines.append(sep)
+    for row in cells[1:]:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(series: Dict[str, Dict], x_label: str = "x",
+                  title: str = "") -> str:
+    """Render {name: {x: y}} curves as one table with x as first column."""
+    xs: List = sorted({x for curve in series.values() for x in curve})
+    headers = [x_label] + list(series)
+    rows = []
+    for x in xs:
+        rows.append([x] + [series[name].get(x, "") for name in series])
+    return format_table(headers, rows, title=title)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 100:
+            return f"{value:.0f}"
+        if abs(value) >= 1:
+            return f"{value:.1f}"
+        return f"{value:.3f}"
+    return str(value)

@@ -1,0 +1,30 @@
+"""Behavioural reimplementations of prior SSD simulators + real-device
+reference curves.
+
+Figures 3 and 4 contrast a real Intel 750 with MQSim, SSDSim, the SSD
+Extension for DiskSim, and FlashSim.  Each baseline here reproduces the
+*modeling scope* of its namesake — what it does and does not simulate —
+because those omissions (no computation complex, no protocol, no host
+initiator) are precisely what produce the trend classes the paper shows:
+linear, constant, or non-saturating curves.
+"""
+
+from repro.baselines.models import (
+    FlashSimModel,
+    MQSimModel,
+    SSDExtensionModel,
+    SSDSimModel,
+)
+from repro.baselines.replay import ClosedLoopReplayer, ReplayResult
+from repro.baselines.reference import REAL_DEVICES, reference_curve
+
+__all__ = [
+    "FlashSimModel",
+    "SSDSimModel",
+    "SSDExtensionModel",
+    "MQSimModel",
+    "ClosedLoopReplayer",
+    "ReplayResult",
+    "REAL_DEVICES",
+    "reference_curve",
+]

@@ -1,0 +1,105 @@
+"""Real-device reference curves.
+
+We have no Intel 750 / 850 PRO / Z-SSD / 983 DCT hardware, so the
+validation experiments compare against these curves, digitized from the
+paper's published figures (Figs 3-4 and 8-9) and public spec sheets.
+Values are approximations read off the plots — good to roughly +/-10% —
+which is adequate for trend/accuracy comparisons.
+
+All bandwidths are MB/s for 4 KB blocks; latencies are microseconds.
+Keys are I/O depths; ``reference_curve`` interpolates between them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+_DEPTHS = [1, 2, 4, 8, 16, 24, 32]
+
+# {device: {pattern: {"bandwidth": [...], "latency": [...]}}}
+_CURVES: Dict[str, Dict[str, Dict[str, List[float]]]] = {
+    "intel750": {
+        "seqread":   {"bandwidth": [330, 600, 1000, 1250, 1330, 1350, 1360],
+                      "latency":   [12, 13, 15, 22, 42, 62, 82]},
+        "randread":  {"bandwidth": [40, 80, 160, 320, 620, 900, 1150],
+                      "latency":   [95, 97, 99, 102, 106, 111, 116]},
+        "seqwrite":  {"bandwidth": [300, 520, 800, 950, 1000, 1010, 1020],
+                      "latency":   [13, 15, 19, 33, 62, 93, 122]},
+        "randwrite": {"bandwidth": [250, 420, 650, 820, 880, 900, 910],
+                      "latency":   [15, 19, 24, 38, 71, 104, 137]},
+    },
+    "850pro": {
+        "seqread":   {"bandwidth": [180, 320, 470, 525, 540, 545, 545],
+                      "latency":   [21, 24, 33, 59, 115, 172, 229]},
+        "randread":  {"bandwidth": [35, 70, 135, 250, 390, 470, 510],
+                      "latency":   [110, 112, 115, 124, 159, 198, 243]},
+        "seqwrite":  {"bandwidth": [160, 280, 410, 480, 505, 512, 515],
+                      "latency":   [24, 28, 38, 65, 123, 183, 242]},
+        "randwrite": {"bandwidth": [140, 245, 370, 440, 470, 480, 485],
+                      "latency":   [27, 32, 42, 71, 132, 195, 257]},
+    },
+    "zssd": {
+        "seqread":   {"bandwidth": [700, 1150, 1600, 1850, 1950, 2000, 2000],
+                      "latency":   [5, 7, 10, 17, 32, 47, 62]},
+        "randread":  {"bandwidth": [250, 480, 900, 1400, 1800, 1950, 2000],
+                      "latency":   [15, 16, 17, 22, 34, 48, 62]},
+        "seqwrite":  {"bandwidth": [500, 850, 1150, 1280, 1320, 1330, 1330],
+                      "latency":   [8, 9, 13, 24, 47, 70, 94]},
+        "randwrite": {"bandwidth": [450, 760, 1050, 1200, 1260, 1270, 1280],
+                      "latency":   [9, 10, 15, 26, 50, 74, 98]},
+    },
+    "983dct": {
+        "seqread":   {"bandwidth": [280, 520, 900, 1250, 1450, 1500, 1520],
+                      "latency":   [14, 15, 17, 25, 43, 63, 82]},
+        "randread":  {"bandwidth": [45, 90, 175, 340, 640, 890, 1100],
+                      "latency":   [88, 90, 92, 95, 99, 106, 114]},
+        "seqwrite":  {"bandwidth": [260, 470, 750, 920, 980, 990, 1000],
+                      "latency":   [15, 17, 21, 35, 64, 95, 125]},
+        "randwrite": {"bandwidth": [220, 390, 620, 790, 860, 880, 890],
+                      "latency":   [17, 20, 26, 40, 73, 107, 140]},
+    },
+}
+
+PATTERNS = ("seqread", "randread", "seqwrite", "randwrite")
+REAL_DEVICES = tuple(_CURVES)
+
+
+def reference_curve(device: str, pattern: str,
+                    metric: str = "bandwidth") -> Dict[int, float]:
+    """Digitized (depth -> value) curve for a device/pattern/metric."""
+    try:
+        series = _CURVES[device][pattern][metric]
+    except KeyError:
+        raise ValueError(
+            f"no reference data for {device!r}/{pattern!r}/{metric!r}") from None
+    return dict(zip(_DEPTHS, series))
+
+
+def reference_at(device: str, pattern: str, depth: int,
+                 metric: str = "bandwidth") -> float:
+    """Interpolated reference value at an arbitrary I/O depth."""
+    curve = reference_curve(device, pattern, metric)
+    if depth in curve:
+        return curve[depth]
+    depths = sorted(curve)
+    if depth <= depths[0]:
+        return curve[depths[0]]
+    if depth >= depths[-1]:
+        return curve[depths[-1]]
+    for low, high in zip(depths, depths[1:]):
+        if low < depth < high:
+            frac = (depth - low) / (high - low)
+            return curve[low] * (1 - frac) + curve[high] * frac
+    raise AssertionError("unreachable")
+
+
+def error_rate(real: float, simulated: float) -> float:
+    """The paper's error formula: |real - sim| / real."""
+    if real <= 0:
+        raise ValueError("reference value must be positive")
+    return abs(real - simulated) / real
+
+
+def accuracy(real: float, simulated: float) -> float:
+    """Accuracy as the paper reports it: 1 - error, floored at 0."""
+    return max(0.0, 1.0 - error_rate(real, simulated))

@@ -1,0 +1,26 @@
+"""Shared vocabulary types: units, I/O requests, instruction mixes, metrics."""
+
+from repro.common.units import (
+    GB,
+    GHZ,
+    KB,
+    MB,
+    MHZ,
+    MS,
+    NS,
+    SEC,
+    US,
+    bandwidth_mbps,
+    ns_per_byte,
+)
+from repro.common.iorequest import IOKind, IORequest
+from repro.common.instructions import InstructionMix, InstructionStats
+from repro.common.recorders import BandwidthRecorder, LatencyRecorder
+
+__all__ = [
+    "KB", "MB", "GB", "NS", "US", "MS", "SEC", "MHZ", "GHZ",
+    "bandwidth_mbps", "ns_per_byte",
+    "IOKind", "IORequest",
+    "InstructionMix", "InstructionStats",
+    "LatencyRecorder", "BandwidthRecorder",
+]

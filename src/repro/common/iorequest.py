@@ -1,0 +1,89 @@
+"""Block-level I/O request carried through the full storage stack."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from itertools import count
+from typing import Optional
+
+_REQUEST_IDS = count(1)
+
+
+class IOKind(enum.Enum):
+    READ = "read"
+    WRITE = "write"
+    FLUSH = "flush"
+    TRIM = "trim"
+    # OCSSD vector commands address physical flash directly.
+    VECTOR_READ = "vector_read"
+    VECTOR_WRITE = "vector_write"
+    VECTOR_ERASE = "vector_erase"
+
+    @property
+    def is_read(self) -> bool:
+        return self in (IOKind.READ, IOKind.VECTOR_READ)
+
+    @property
+    def is_write(self) -> bool:
+        return self in (IOKind.WRITE, IOKind.VECTOR_WRITE)
+
+
+@dataclass
+class IORequest:
+    """One host-visible I/O, in 512-byte logical sectors.
+
+    The request records timestamps as it moves down and back up the stack,
+    so user-level, interface-level and device-level latencies can all be
+    reported (Fig 14 distinguishes exactly these levels).
+    """
+
+    kind: IOKind
+    slba: int                       # starting logical block address (sectors)
+    nsectors: int                   # length in sectors
+    data: Optional[bytes] = None    # real payload when data emulation is on
+    req_id: int = field(default_factory=lambda: next(_REQUEST_IDS))
+
+    # lifecycle timestamps (ns); -1 = not reached
+    t_submit: int = -1              # user-level submission (syscall entry)
+    t_driver: int = -1              # handed to the device driver
+    t_device: int = -1              # fetched by the device controller
+    t_backend_done: int = -1        # flash/cache service complete
+    t_complete: int = -1            # user-level completion
+
+    # set by drivers/controllers as the request is serviced
+    queue_id: int = 0
+    tag: int = -1
+
+    SECTOR = 512
+
+    @property
+    def nbytes(self) -> int:
+        return self.nsectors * self.SECTOR
+
+    @property
+    def offset(self) -> int:
+        return self.slba * self.SECTOR
+
+    def user_latency(self) -> int:
+        """End-to-end latency seen by the submitting application."""
+        if self.t_complete < 0 or self.t_submit < 0:
+            raise ValueError("request has not completed")
+        return self.t_complete - self.t_submit
+
+    def device_latency(self) -> int:
+        """Latency inside the device (fetch -> backend done)."""
+        if self.t_backend_done < 0 or self.t_device < 0:
+            raise ValueError("request has not been serviced by the device")
+        return self.t_backend_done - self.t_device
+
+    def sector_range(self) -> range:
+        return range(self.slba, self.slba + self.nsectors)
+
+    def overlaps(self, other: "IORequest") -> bool:
+        return (self.slba < other.slba + other.nsectors
+                and other.slba < self.slba + self.nsectors)
+
+    def __repr__(self) -> str:
+        return (f"IORequest(#{self.req_id} {self.kind.value} "
+                f"slba={self.slba} n={self.nsectors})")

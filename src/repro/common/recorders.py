@@ -1,0 +1,99 @@
+"""Latency and bandwidth measurement recorders."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional
+
+from repro.common.units import MB, SEC
+
+
+class LatencyRecorder:
+    """Collects per-request latencies (ns) and summarizes them."""
+
+    def __init__(self) -> None:
+        self._samples: List[int] = []
+
+    def record(self, latency_ns: int) -> None:
+        if latency_ns < 0:
+            raise ValueError("negative latency")
+        self._samples.append(latency_ns)
+
+    @property
+    def count(self) -> int:
+        return len(self._samples)
+
+    def mean(self) -> float:
+        return sum(self._samples) / len(self._samples) if self._samples else 0.0
+
+    def mean_us(self) -> float:
+        return self.mean() / 1000.0
+
+    def percentile(self, p: float) -> int:
+        if not self._samples:
+            return 0
+        if not 0.0 <= p <= 100.0:
+            raise ValueError("percentile must be in [0, 100]")
+        ordered = sorted(self._samples)
+        rank = (p / 100.0) * (len(ordered) - 1)
+        lower = math.floor(rank)
+        upper = math.ceil(rank)
+        if lower == upper:
+            return ordered[lower]
+        frac = rank - lower
+        return round(ordered[lower] * (1 - frac) + ordered[upper] * frac)
+
+    def max(self) -> int:
+        return max(self._samples) if self._samples else 0
+
+    def min(self) -> int:
+        return min(self._samples) if self._samples else 0
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "mean_us": self.mean_us(),
+            "p50_us": self.percentile(50) / 1000.0,
+            "p99_us": self.percentile(99) / 1000.0,
+            "max_us": self.max() / 1000.0,
+        }
+
+
+class BandwidthRecorder:
+    """Counts bytes moved; reports MB/s over a window.
+
+    ``warmup_ns`` excludes the initial transient (cache fill, queue ramp)
+    from steady-state bandwidth, mirroring how FIO reports after ramp time.
+    """
+
+    def __init__(self, warmup_ns: int = 0) -> None:
+        self.warmup_ns = warmup_ns
+        self._bytes = 0
+        self._warm_bytes = 0
+        self._first_ns: Optional[int] = None
+        self._last_ns: Optional[int] = None
+
+    def record(self, nbytes: int, now_ns: int) -> None:
+        if self._first_ns is None:
+            self._first_ns = now_ns
+        self._bytes += nbytes
+        if now_ns - self._first_ns >= self.warmup_ns:
+            if self._warm_bytes == 0:
+                self._warm_start = now_ns
+            self._warm_bytes += nbytes
+        self._last_ns = now_ns
+
+    @property
+    def total_bytes(self) -> int:
+        return self._bytes
+
+    def mbps(self) -> float:
+        """Steady-state bandwidth in MB/s."""
+        if self._warm_bytes and self._last_ns is not None:
+            span = self._last_ns - self._warm_start
+            if span > 0:
+                return (self._warm_bytes / MB) / (span / SEC)
+        if self._first_ns is None or self._last_ns is None:
+            return 0.0
+        span = self._last_ns - self._first_ns
+        return (self._bytes / MB) / (span / SEC) if span > 0 else 0.0

@@ -1,0 +1,7 @@
+"""Amber's public API: full-system assembly + FIO-like workload engine."""
+
+from repro.core.fio import FioJob, FioResult
+from repro.core.system import FullSystem
+from repro.core import presets
+
+__all__ = ["FullSystem", "FioJob", "FioResult", "presets"]

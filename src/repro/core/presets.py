@@ -1,0 +1,198 @@
+"""Device presets for the four validated SSDs (Section V-B) plus Table I.
+
+Geometry shape, flash timing class and interface match each real device;
+``blocks_per_plane`` is scaled down from 512 so Python-level mapping
+tables stay small (DESIGN.md, "Capacity note").  Parallelism, striping
+and timing behaviour — the things the experiments measure — are
+unaffected by block count, except total capacity.
+"""
+
+from __future__ import annotations
+
+from repro.common.units import GB, KB, MB
+from repro.ssd.config import (
+    CacheConfig,
+    CoreConfig,
+    DramConfig,
+    FirmwareCosts,
+    FlashGeometry,
+    FlashTiming,
+    FTLConfig,
+    SSDConfig,
+)
+
+
+def intel750(blocks_per_plane: int = 16) -> SSDConfig:
+    """Intel 750 400GB-class: 12 channels x 5 packages, MLC, NVMe.
+
+    Flash latencies follow the eval section: tPROG 413us-1.8ms,
+    tR 57-94us (ISPP fast/slow pages).
+    """
+    return SSDConfig(
+        name="intel750",
+        geometry=FlashGeometry(
+            channels=12, packages_per_channel=5, dies_per_package=1,
+            planes_per_die=2, blocks_per_plane=blocks_per_plane,
+            pages_per_block=256, page_size=4 * KB),
+        timing=FlashTiming(
+            t_read_fast=57_000, t_read_slow=94_000,
+            t_prog_fast=413_000, t_prog_slow=1_800_000,
+            t_erase=3_000_000, bits_per_cell=2,
+            channel_bus_mhz=333, t_cmd=300),
+        dram=DramConfig(size=1 * GB),
+        cores=CoreConfig(n_cores=3, frequency=800_000_000,
+                         energy_per_instruction=400e-12,
+                         leakage_per_core=0.55),
+        cache=CacheConfig(fraction_of_dram=0.5),
+        ftl=FTLConfig(overprovision=0.20, gc_threshold_free_blocks=1),
+        costs=FirmwareCosts(
+            hil_fetch=1050, hil_complete=720, icl_lookup=950, icl_fill=480,
+            ftl_translate=800, ftl_gc_per_page=560, fil_issue=320,
+            doorbell_service=360),
+    )
+
+
+def samsung850pro(blocks_per_plane: int = 16) -> SSDConfig:
+    """Samsung 850 PRO: 8 interconnects, MLC V-NAND, SATA (h-type)."""
+    return SSDConfig(
+        name="850pro",
+        geometry=FlashGeometry(
+            channels=8, packages_per_channel=4, dies_per_package=1,
+            planes_per_die=2, blocks_per_plane=blocks_per_plane,
+            pages_per_block=256, page_size=4 * KB),
+        timing=FlashTiming(
+            t_read_fast=45_000, t_read_slow=85_000,
+            t_prog_fast=400_000, t_prog_slow=1_500_000,
+            t_erase=3_000_000, bits_per_cell=2,
+            channel_bus_mhz=333, t_cmd=300),
+        dram=DramConfig(size=512 * MB),
+        cores=CoreConfig(n_cores=3, frequency=400_000_000,
+                 energy_per_instruction=350e-12,
+                 leakage_per_core=0.45),
+        cache=CacheConfig(fraction_of_dram=0.5),
+        ftl=FTLConfig(overprovision=0.10, gc_threshold_free_blocks=1),
+        costs=FirmwareCosts(
+            hil_fetch=500, hil_complete=380, icl_lookup=550, icl_fill=280,
+            ftl_translate=460, ftl_gc_per_page=330, fil_issue=190,
+            doorbell_service=0),
+    )
+
+
+def zssd(blocks_per_plane: int = 16) -> SSDConfig:
+    """Samsung Z-SSD prototype: new flash with 3us read / 100us program."""
+    return SSDConfig(
+        name="zssd",
+        geometry=FlashGeometry(
+            channels=16, packages_per_channel=4, dies_per_package=1,
+            planes_per_die=2, blocks_per_plane=blocks_per_plane,
+            pages_per_block=256, page_size=4 * KB),
+        timing=FlashTiming(
+            t_read_fast=3_000, t_read_slow=3_000,
+            t_prog_fast=100_000, t_prog_slow=100_000,
+            t_erase=1_000_000, bits_per_cell=1,
+            channel_bus_mhz=667, t_cmd=200),
+        dram=DramConfig(size=1 * GB, bus_mhz=1066),
+        cores=CoreConfig(n_cores=3, frequency=800_000_000,
+                 energy_per_instruction=400e-12,
+                 leakage_per_core=0.55),
+        cache=CacheConfig(fraction_of_dram=0.5),
+        ftl=FTLConfig(overprovision=0.20, gc_threshold_free_blocks=1),
+        costs=FirmwareCosts(
+            hil_fetch=600, hil_complete=450, icl_lookup=560, icl_fill=280,
+            ftl_translate=470, ftl_gc_per_page=360, fil_issue=190,
+            doorbell_service=250),
+    )
+
+
+def samsung983dct(blocks_per_plane: int = 16) -> SSDConfig:
+    """Samsung 983 DCT prototype: V-NAND TLC datacenter NVMe, multi-stream."""
+    return SSDConfig(
+        name="983dct",
+        geometry=FlashGeometry(
+            channels=8, packages_per_channel=8, dies_per_package=1,
+            planes_per_die=2, blocks_per_plane=blocks_per_plane,
+            pages_per_block=256, page_size=4 * KB),
+        timing=FlashTiming(
+            t_read_fast=60_000, t_read_slow=90_000,
+            t_prog_fast=500_000, t_prog_slow=1_600_000,
+            t_erase=3_500_000, bits_per_cell=3,
+            channel_bus_mhz=533, t_cmd=250),
+        dram=DramConfig(size=1 * GB, bus_mhz=933),
+        cores=CoreConfig(n_cores=3, frequency=700_000_000,
+                 energy_per_instruction=380e-12,
+                 leakage_per_core=0.5),
+        cache=CacheConfig(fraction_of_dram=0.5),
+        ftl=FTLConfig(overprovision=0.15, gc_threshold_free_blocks=1),
+        costs=FirmwareCosts(
+            hil_fetch=950, hil_complete=730, icl_lookup=700, icl_fill=350,
+            ftl_translate=600, ftl_gc_per_page=450, fil_issue=240,
+            doorbell_service=340),
+    )
+
+
+def ufs_mobile(blocks_per_plane: int = 16) -> SSDConfig:
+    """UFS 2.1 handheld storage: hardware-automated h-type controller.
+
+    Mobile storage spends far less firmware work per command (no rich
+    queues, no doorbells, heavy hardware automation) on a small
+    low-power controller — the basis of Fig 13's instruction-rate and
+    power gaps versus NVMe.
+    """
+    return SSDConfig(
+        name="ufs-mobile",
+        geometry=FlashGeometry(
+            channels=4, packages_per_channel=4, dies_per_package=1,
+            planes_per_die=2, blocks_per_plane=blocks_per_plane,
+            pages_per_block=256, page_size=4 * KB),
+        timing=FlashTiming(
+            t_read_fast=50_000, t_read_slow=90_000,
+            t_prog_fast=450_000, t_prog_slow=1_600_000,
+            t_erase=3_000_000, bits_per_cell=2,
+            channel_bus_mhz=333, t_cmd=300),
+        dram=DramConfig(size=256 * MB),
+        cores=CoreConfig(n_cores=2, frequency=300_000_000,
+                         energy_per_instruction=300e-12,
+                         leakage_per_core=0.4),
+        cache=CacheConfig(fraction_of_dram=0.5),
+        ftl=FTLConfig(overprovision=0.10, gc_threshold_free_blocks=1),
+        costs=FirmwareCosts(
+            hil_fetch=260, hil_complete=200, icl_lookup=300, icl_fill=160,
+            ftl_translate=260, ftl_gc_per_page=200, fil_issue=110,
+            doorbell_service=0),
+    )
+
+
+def table1_configuration() -> dict:
+    """Table I: the real device's hardware configuration, verbatim."""
+    return {
+        "NAND Flash timing (us)": {
+            "tPROG": "820.62 / 2250",
+            "tR": "59.975 / 104.956",
+            "tERASE": "3000",
+        },
+        "Storage back-end": {
+            "Channel": 12, "Package": 5, "Die": 1,
+            "Plane": 2, "Block": 512, "Page": 512,
+        },
+        "Internal DRAM": {
+            "Size": "1GB", "Channel": 1, "Rank": 1,
+            "Bank": 8, "Chip": 4, "Bus width": 8,
+        },
+    }
+
+
+PRESETS = {
+    "intel750": intel750,
+    "ufs-mobile": ufs_mobile,
+    "850pro": samsung850pro,
+    "zssd": zssd,
+    "983dct": samsung983dct,
+}
+
+
+def by_name(name: str, **kwargs) -> SSDConfig:
+    try:
+        return PRESETS[name](**kwargs)
+    except KeyError:
+        raise ValueError(f"unknown preset {name!r}; "
+                         f"choose from {sorted(PRESETS)}") from None

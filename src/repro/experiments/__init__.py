@@ -1,0 +1,7 @@
+"""Experiment drivers: one module per table/figure of the evaluation.
+
+Every module exposes ``run(quick=True) -> dict`` returning structured
+results and ``render(result) -> str`` producing the paper-style rows.
+``quick`` trims sweep points and I/O counts so tests stay fast; the
+benchmark harness runs the full versions.
+"""

@@ -1,0 +1,63 @@
+"""Run any paper experiment from the command line.
+
+Usage::
+
+    python -m repro.experiments tables
+    python -m repro.experiments fig08_09 --full
+    python -m repro.experiments --list
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import sys
+import time
+
+EXPERIMENTS = {
+    "tables": "repro.experiments.tables",
+    "fig03_04": "repro.experiments.fig03_04_baselines",
+    "fig08_09": "repro.experiments.fig08_09_validation",
+    "fig10": "repro.experiments.fig10_blocksize",
+    "fig11": "repro.experiments.fig11_overprovision",
+    "fig12": "repro.experiments.fig12_os_impact",
+    "fig13": "repro.experiments.fig13_mobile",
+    "fig14": "repro.experiments.fig14_frequency",
+    "fig15": "repro.experiments.fig15_passive_active",
+    "fig16": "repro.experiments.fig16_simspeed",
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate a table or figure of the Amber paper.")
+    parser.add_argument("experiment", nargs="?",
+                        help=f"one of: {', '.join(EXPERIMENTS)}")
+    parser.add_argument("--full", action="store_true",
+                        help="run the full sweep (default: quick mode)")
+    parser.add_argument("--list", action="store_true",
+                        help="list available experiments")
+    args = parser.parse_args(argv)
+
+    if args.list or not args.experiment:
+        for name, module in EXPERIMENTS.items():
+            print(f"{name:<10} {module}")
+        return 0
+
+    if args.experiment not in EXPERIMENTS:
+        parser.error(f"unknown experiment {args.experiment!r}; "
+                     f"choose from {', '.join(EXPERIMENTS)}")
+
+    module = importlib.import_module(EXPERIMENTS[args.experiment])
+    started = time.perf_counter()
+    result = module.run(quick=not args.full)
+    elapsed = time.perf_counter() - started
+    print(module.render(result))
+    print(f"\n[{args.experiment} finished in {elapsed:.1f}s "
+          f"({'full' if args.full else 'quick'} mode)]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

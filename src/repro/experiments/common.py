@@ -1,0 +1,54 @@
+"""Shared experiment plumbing."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core import presets
+from repro.core.fio import FioJob
+from repro.core.system import FullSystem
+from repro.ssd.config import SSDConfig
+from repro.workloads.synthetic import PATTERN_RW
+
+FULL_DEPTHS = [1, 2, 4, 8, 16, 24, 32]
+QUICK_DEPTHS = [1, 4, 16, 32]
+
+#: which interface each validated device uses
+DEVICE_INTERFACES = {
+    "intel750": "nvme",
+    "850pro": "sata",
+    "zssd": "nvme",
+    "983dct": "nvme",
+}
+
+
+def build_system(device_name: str, interface: Optional[str] = None,
+                 **kwargs) -> FullSystem:
+    device = presets.by_name(device_name)
+    interface = interface or DEVICE_INTERFACES[device_name]
+    system = FullSystem(device=device, interface=interface, **kwargs)
+    system.precondition()
+    return system
+
+
+def run_pattern(system: FullSystem, pattern: str, depth: int, bs: int = 4096,
+                total_ios: int = 1000, seed: int = 21):
+    job = FioJob(rw=PATTERN_RW[pattern], bs=bs, iodepth=depth,
+                 total_ios=total_ios, seed=seed)
+    return system.run_fio(job)
+
+
+def sweep_depths(device_name: str, pattern: str, depths: List[int],
+                 bs: int = 4096, total_ios: int = 1000) -> Dict[int, Dict]:
+    """Fresh system per point (no cross-contamination between depths)."""
+    out: Dict[int, Dict] = {}
+    for depth in depths:
+        system = build_system(device_name)
+        result = run_pattern(system, pattern, depth, bs=bs,
+                             total_ios=total_ios)
+        out[depth] = {
+            "bandwidth_mbps": result.bandwidth_mbps,
+            "latency_us": result.latency.mean_us(),
+            "iops": result.iops,
+        }
+    return out

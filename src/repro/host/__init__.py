@@ -1,0 +1,29 @@
+"""Host hardware model (the gem5 substitute).
+
+CPU models (atomic/functional and timing in-order / out-of-order
+approximations), host DRAM with a usage ledger, the system crossbar,
+PCIe links and the revised DMA engine with pointer-list walkers — the
+pieces of gem5 the paper modifies (Figure 5b).
+"""
+
+from repro.host.cpu import CpuModel, HostCpu
+from repro.host.memory import HostMemory
+from repro.host.bus import SystemBus
+from repro.host.pcie import PcieLink, SataLink, UfsLink
+from repro.host.dma import DmaEngine, PointerList
+from repro.host.platform import HostPlatform, mobile_platform, pc_platform
+
+__all__ = [
+    "CpuModel",
+    "HostCpu",
+    "HostMemory",
+    "SystemBus",
+    "PcieLink",
+    "SataLink",
+    "UfsLink",
+    "DmaEngine",
+    "PointerList",
+    "HostPlatform",
+    "pc_platform",
+    "mobile_platform",
+]

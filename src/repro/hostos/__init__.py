@@ -1,0 +1,24 @@
+"""Host operating-system storage stack.
+
+Models the software the paper executes on gem5's Linux: syscall entry,
+the block layer with pluggable I/O schedulers (CFQ for kernel 4.4, BFQ
+for 4.14), a page cache, and per-interface drivers including lightNVM +
+pblk for OCSSD's host-side FTL.
+"""
+
+from repro.hostos.kernel import KernelProfile, kernel_4_4, kernel_4_14
+from repro.hostos.iosched import BfqScheduler, CfqScheduler, NoopScheduler, make_scheduler
+from repro.hostos.blocklayer import BlockLayer
+from repro.hostos.pagecache import PageCache
+
+__all__ = [
+    "KernelProfile",
+    "kernel_4_4",
+    "kernel_4_14",
+    "NoopScheduler",
+    "CfqScheduler",
+    "BfqScheduler",
+    "make_scheduler",
+    "BlockLayer",
+    "PageCache",
+]

@@ -1,0 +1,80 @@
+"""Kernel storage-stack profiles.
+
+Fig 12 contrasts Linux 4.4 (CFQ) with 4.14 (refined BFQ): the scheduler
+choice changes per-request CPU work, dispatch batching and merging, which
+together decide whether the kernel can generate enough I/O to saturate an
+SSD.  A profile bundles those knobs plus instruction budgets for each
+stage of the submission/completion path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class KernelProfile:
+    version: str
+    scheduler: str               # "cfq" | "bfq" | "noop"
+    # instruction budgets (ARM/x86-agnostic counts; CPI applied by HostCpu)
+    syscall_submit_instr: int    # VFS + aio entry
+    block_submit_instr: int      # bio creation, plugging
+    sched_instr: int             # elevator work per dispatched request
+    driver_submit_instr: int     # request -> protocol command
+    isr_instr: int               # interrupt service routine
+    complete_instr: int          # blk completion + user wakeup
+    # scheduler behaviour
+    dispatch_quantum: int        # requests dispatched per elevator turn
+    inflight_limit: int          # scheduler-imposed outstanding cap
+    dispatch_gap_ns: int         # elevator bookkeeping gap between turns
+    merge: bool                  # back-merge adjacent sequential requests
+    max_merge_sectors: int = 1024
+
+    @property
+    def submit_path_instr(self) -> int:
+        return (self.syscall_submit_instr + self.block_submit_instr
+                + self.driver_submit_instr)
+
+
+def kernel_4_4() -> KernelProfile:
+    """Linux 4.4: CFQ elevator; heavier per-request path, shallow dispatch."""
+    return KernelProfile(
+        version="4.4",
+        scheduler="cfq",
+        syscall_submit_instr=3200,
+        block_submit_instr=3800,
+        sched_instr=5200,
+        driver_submit_instr=2600,
+        isr_instr=2400,
+        complete_instr=2200,
+        dispatch_quantum=1,
+        inflight_limit=16,
+        dispatch_gap_ns=2500,
+        merge=False,
+    )
+
+
+def kernel_4_14() -> KernelProfile:
+    """Linux 4.14: refined BFQ with per-process queues and unified merging."""
+    return KernelProfile(
+        version="4.14",
+        scheduler="bfq",
+        syscall_submit_instr=2800,
+        block_submit_instr=2600,
+        sched_instr=1800,
+        driver_submit_instr=2200,
+        isr_instr=1900,
+        complete_instr=1700,
+        dispatch_quantum=16,
+        inflight_limit=128,
+        dispatch_gap_ns=0,
+        merge=True,
+    )
+
+
+def kernel_by_version(version: str) -> KernelProfile:
+    table = {"4.4": kernel_4_4, "4.14": kernel_4_14}
+    try:
+        return table[version]()
+    except KeyError:
+        raise ValueError(f"no kernel profile for version {version!r}") from None

@@ -1,0 +1,19 @@
+"""NVM Express: rich queues, doorbells, PRP/SGL, MSI-X (s-type storage)."""
+
+from repro.interfaces.nvme.structures import (
+    CompletionEntry,
+    NvmeOpcode,
+    SubmissionEntry,
+)
+from repro.interfaces.nvme.queues import QueuePair
+from repro.interfaces.nvme.host import NvmeDriver
+from repro.interfaces.nvme.controller import NvmeController
+
+__all__ = [
+    "NvmeOpcode",
+    "SubmissionEntry",
+    "CompletionEntry",
+    "QueuePair",
+    "NvmeDriver",
+    "NvmeController",
+]

@@ -1,0 +1,91 @@
+"""NVMe queue pairs: submission/completion rings with doorbell semantics.
+
+The OS driver owns the tail of each submission queue and the head of each
+completion queue; the controller owns the opposite ends.  Both sides
+synchronize exclusively through doorbell registers (driver -> device) and
+completion entries + MSI-X (device -> driver) — the rich-queue mechanism
+that lets s-type storage scale to 65536 queues of 65536 entries.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional
+
+from repro.interfaces.nvme.structures import CompletionEntry, SubmissionEntry
+
+
+class SubmissionQueue:
+    def __init__(self, qid: int, depth: int) -> None:
+        if depth < 2:
+            raise ValueError("queue depth must be >= 2")
+        self.qid = qid
+        self.depth = depth
+        self._ring: Deque[SubmissionEntry] = deque()
+        self.tail = 0           # driver-written (via doorbell)
+        self.head = 0           # device-consumed
+
+    @property
+    def occupancy(self) -> int:
+        return len(self._ring)
+
+    @property
+    def is_full(self) -> bool:
+        # one slot is kept open to disambiguate full from empty
+        return self.occupancy >= self.depth - 1
+
+    def push(self, entry: SubmissionEntry) -> None:
+        if self.is_full:
+            raise RuntimeError(f"SQ {self.qid} overflow")
+        entry.queue_id = self.qid
+        self._ring.append(entry)
+        self.tail = (self.tail + 1) % self.depth
+
+    def pop(self) -> Optional[SubmissionEntry]:
+        if not self._ring:
+            return None
+        self.head = (self.head + 1) % self.depth
+        return self._ring.popleft()
+
+
+class CompletionQueue:
+    def __init__(self, qid: int, depth: int) -> None:
+        self.qid = qid
+        self.depth = depth
+        self._ring: Deque[CompletionEntry] = deque()
+        self.tail = 0
+        self.head = 0
+
+    def post(self, entry: CompletionEntry) -> None:
+        if len(self._ring) >= self.depth:
+            raise RuntimeError(f"CQ {self.qid} overflow")
+        self._ring.append(entry)
+        self.tail = (self.tail + 1) % self.depth
+
+    def reap(self) -> Optional[CompletionEntry]:
+        if not self._ring:
+            return None
+        self.head = (self.head + 1) % self.depth
+        return self._ring.popleft()
+
+
+class QueuePair:
+    """An SQ/CQ couple plus its doorbell state."""
+
+    def __init__(self, qid: int, depth: int) -> None:
+        self.qid = qid
+        self.sq = SubmissionQueue(qid, depth)
+        self.cq = CompletionQueue(qid, depth)
+        # doorbell "registers": last tail/head values written
+        self.sq_tail_doorbell = 0
+        self.cq_head_doorbell = 0
+
+    def ring_sq_doorbell(self) -> None:
+        self.sq_tail_doorbell = self.sq.tail
+
+    def ring_cq_doorbell(self) -> None:
+        self.cq_head_doorbell = self.cq.head
+
+    @property
+    def device_work_pending(self) -> bool:
+        return self.sq.occupancy > 0

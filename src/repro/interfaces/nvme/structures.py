@@ -1,0 +1,99 @@
+"""NVMe command structures (NVMe 1.2.1).
+
+A submission entry is 64 bytes, a completion entry 16 bytes; the sizes
+matter because the device controller DMAs them across PCIe.  The opcode
+set covers all mandatory I/O and admin commands plus the optional
+features Amber implements (namespace management, SGL support).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from itertools import count
+from typing import List, Optional, Tuple
+
+SQE_BYTES = 64
+CQE_BYTES = 16
+
+_CID = count(1)
+
+
+class NvmeOpcode(enum.Enum):
+    # I/O command set (mandatory)
+    FLUSH = 0x00
+    WRITE = 0x01
+    READ = 0x02
+    # optional I/O
+    WRITE_UNCORRECTABLE = 0x04
+    COMPARE = 0x05
+    DATASET_MANAGEMENT = 0x09
+    # admin (mandatory)
+    DELETE_SQ = 0x100
+    CREATE_SQ = 0x101
+    GET_LOG_PAGE = 0x102
+    DELETE_CQ = 0x104
+    CREATE_CQ = 0x105
+    IDENTIFY = 0x106
+    ABORT = 0x108
+    SET_FEATURES = 0x109
+    GET_FEATURES = 0x10A
+    # optional admin
+    NS_MANAGEMENT = 0x10D
+    NS_ATTACH = 0x115
+    FORMAT_NVM = 0x180
+
+
+class TransferMode(enum.Enum):
+    PRP = "prp"
+    SGL = "sgl"
+
+
+@dataclass
+class SubmissionEntry:
+    """One 64-byte SQE."""
+
+    opcode: NvmeOpcode
+    nsid: int = 1
+    slba: int = 0
+    nlb: int = 0                      # 0-based: n sectors - 1
+    prp_entries: List[Tuple[int, int]] = field(default_factory=list)
+    transfer_mode: TransferMode = TransferMode.PRP
+    cid: int = field(default_factory=lambda: next(_CID))
+    queue_id: int = 1
+    # book-keeping for the simulated driver
+    context: Optional[object] = None
+
+    @property
+    def nsectors(self) -> int:
+        return self.nlb + 1
+
+
+@dataclass
+class CompletionEntry:
+    """One 16-byte CQE."""
+
+    cid: int
+    sq_id: int
+    status: int = 0           # 0 = success
+    sq_head: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return self.status == 0
+
+
+@dataclass(frozen=True)
+class Namespace:
+    """An NVMe namespace: a slice of the device's logical space."""
+
+    nsid: int
+    start_sector: int
+    n_sectors: int
+
+    def translate(self, slba: int, nsectors: int) -> int:
+        if slba < 0 or slba + nsectors > self.n_sectors:
+            raise ValueError(
+                f"LBA range [{slba}, {slba + nsectors}) outside namespace "
+                f"{self.nsid} ({self.n_sectors} sectors)")
+        return self.start_sector + slba

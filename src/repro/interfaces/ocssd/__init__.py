@@ -1,0 +1,7 @@
+"""Open-Channel SSD: the passive storage architecture (host-side FTL)."""
+
+from repro.interfaces.ocssd.geometry import ChunkState, OcssdGeometry
+from repro.interfaces.ocssd.controller import OcssdController
+from repro.interfaces.ocssd.pblk import PblkDriver
+
+__all__ = ["OcssdGeometry", "ChunkState", "OcssdController", "PblkDriver"]

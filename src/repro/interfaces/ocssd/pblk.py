@@ -1,0 +1,373 @@
+"""pblk: the host-side FTL for Open-Channel SSDs (lightNVM).
+
+Everything an SSD's firmware normally does — translation, write
+buffering, striping, garbage collection, wear management — runs here as
+*kernel code on host cores*.  That is the essence of the passive storage
+architecture: Fig 15b's 50% kernel CPU utilization and Fig 15c's pblk
+buffer allocation both come out of this module.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+from typing import Deque, Dict, List, Optional
+
+import numpy as np
+
+from repro.common.instructions import InstructionMix
+from repro.common.iorequest import IOKind, IORequest
+from repro.host.cpu import HostCpu
+from repro.host.memory import HostMemory
+from repro.host.pcie import PcieLink
+from repro.interfaces.base import HostAdapter
+from repro.interfaces.ocssd.controller import OcssdController
+
+UNMAPPED = -1
+
+# pblk kernel-path instruction budgets: the host pays what device
+# firmware would otherwise pay, plus buffer management.
+_MIX_WRITE_ENTRY = InstructionMix.typical(3400)   # buffer insert + l2p prep
+_MIX_FLUSH_PAGE = InstructionMix.typical(2800)    # alloc + map + vector build
+_MIX_READ_LOOKUP = InstructionMix.typical(2600)   # l2p walk + vector build
+_MIX_GC_PAGE = InstructionMix.typical(3000)
+
+
+class _PuState:
+    __slots__ = ("free", "active", "next_page", "valid")
+
+    def __init__(self, chunks: int, pages_per_chunk: int) -> None:
+        self.free: Deque[int] = deque(range(chunks))
+        self.active: Optional[int] = None
+        self.next_page = 0
+        self.valid = [0] * chunks
+
+
+class PblkDriver(HostAdapter):
+    max_outstanding = 4096
+
+    def __init__(self, sim, cpu: HostCpu, memory: HostMemory,
+                 link: PcieLink, controller: OcssdController,
+                 buffer_bytes: int = 64 * 1024 * 1024,
+                 ring_bytes: int = 16 * 1024 * 1024,
+                 op_reserve: float = 0.15,
+                 gc_threshold_chunks: int = 2,
+                 data_emulation: bool = False) -> None:
+        self.sim = sim
+        self.cpu = cpu
+        self.memory = memory
+        self.link = link
+        self.controller = controller
+        self.data_emulation = data_emulation
+        geometry = controller.geometry
+        self.page_size = geometry.page_size
+        self.sectors_per_page = self.page_size // 512
+        self.num_pu = geometry.num_pu
+        self.pages_per_chunk = geometry.pages_per_chunk
+        # pblk reserves whole chunks per PU; at least two, so GC always
+        # has an erased chunk to migrate into while another drains
+        reserve_chunks = max(2, int(geometry.chunks_per_pu * op_reserve))
+        if reserve_chunks >= geometry.chunks_per_pu:
+            raise ValueError("device too small for pblk's chunk reserve")
+        self.gc_threshold_chunks = min(gc_threshold_chunks,
+                                       reserve_chunks - 1)
+
+        usable = (geometry.total_pages
+                  - self.num_pu * reserve_chunks * geometry.pages_per_chunk)
+        self.logical_pages = usable
+        self.l2p = np.full(usable, UNMAPPED, dtype=np.int64)
+        self.p2l = np.full(geometry.total_pages, UNMAPPED, dtype=np.int64)
+        self._pus = [_PuState(geometry.chunks_per_pu, geometry.pages_per_chunk)
+                     for _ in range(self.num_pu)]
+        self._pu_cursor = 0
+        self._gc_busy = [False] * self.num_pu
+
+        # pblk allocates its kernel memory once at initialization
+        # (Fig 15c's visible step), but the *usable* write-buffer ring is
+        # a fraction of it — kernel drivers draw from physical memory and
+        # cannot grow like user space, the very limit that costs OCSSD
+        # its large-I/O advantage (Section V-E)
+        self.buffer_capacity_pages = max(
+            8, min(ring_bytes, buffer_bytes) // self.page_size)
+        self._buffer: "OrderedDict[int, Optional[bytearray]]" = OrderedDict()
+        self._buffer_waiters: Deque = deque()
+        self._flush_running = False
+        self._force_drain = False
+        self._flush_failure: Optional[BaseException] = None
+        memory.allocate("pblk", buffer_bytes)
+
+        self.writes_buffered = 0
+        self.pages_flushed = 0
+        self.gc_pages_migrated = 0
+        self.gc_chunks_reclaimed = 0
+        self.chunks_retired = 0
+
+    # -- geometry helpers ---------------------------------------------------------
+
+    @property
+    def logical_sectors(self) -> int:
+        return self.logical_pages * self.sectors_per_page
+
+    def _ppn(self, pu: int, chunk: int, page: int) -> int:
+        return (pu * self.controller.geometry.chunks_per_pu + chunk) \
+            * self.pages_per_chunk + page
+
+    def _decompose(self, ppn: int):
+        chunk_global, page = divmod(ppn, self.pages_per_chunk)
+        pu, chunk = divmod(chunk_global, self.controller.geometry.chunks_per_pu)
+        return pu, chunk, page
+
+    # -- HostAdapter entry point ----------------------------------------------------
+
+    def submit(self, req: IORequest):
+        event = self.sim.event()
+        if req.kind == IOKind.FLUSH:
+            self.sim.process(self._flush_then(event))
+        elif req.kind.is_write:
+            self.sim.process(self._write(req, event))
+        else:
+            self.sim.process(self._read(req, event))
+        return event
+
+    # -- write path -------------------------------------------------------------------
+
+    def _write(self, req: IORequest, event):
+        req.t_device = self.sim.now
+        first_lpn = req.slba // self.sectors_per_page
+        n_pages = max(1, -(-req.nsectors // self.sectors_per_page))
+        for i in range(n_pages):
+            lpn = first_lpn + i
+            if lpn >= self.logical_pages:
+                raise ValueError(f"lpn {lpn} beyond pblk capacity")
+            yield from self.cpu.execute(_MIX_WRITE_ENTRY, kernel=True)
+            while len(self._buffer) >= self.buffer_capacity_pages:
+                self._start_flush()
+                waiter = self.sim.event()
+                self._buffer_waiters.append(waiter)
+                yield waiter
+            payload = None
+            if self.data_emulation and req.data is not None:
+                off = i * self.page_size
+                payload = bytearray(req.data[off:off + self.page_size]
+                                    .ljust(self.page_size, b"\0"))
+            self._buffer[lpn] = payload
+            self._buffer.move_to_end(lpn)
+            self.writes_buffered += 1
+            yield from self.memory.access(self.page_size, write=True)
+        if len(self._buffer) >= self.buffer_capacity_pages // 2:
+            self._start_flush()
+        req.t_backend_done = self.sim.now
+        event.succeed(None)
+
+    def _start_flush(self) -> None:
+        if self._flush_failure is not None:
+            raise RuntimeError(
+                "pblk flush daemon previously failed") from self._flush_failure
+        if not self._flush_running:
+            self._flush_running = True
+            self.sim.process(self._flush_daemon())
+
+    def _flush_daemon(self):
+        try:
+            while (len(self._buffer) > self.buffer_capacity_pages // 4
+                   or self._buffer_waiters
+                   or (self._force_drain and self._buffer)):
+                batch: List[int] = []
+                seen = set()
+                while self._buffer and len(batch) < 2 * self.num_pu:
+                    lpn, _payload = next(iter(self._buffer.items()))
+                    if lpn in seen:
+                        break   # wrapped around a small buffer
+                    seen.add(lpn)
+                    batch.append(lpn)
+                    self._buffer.move_to_end(lpn)
+                if not batch:
+                    break
+                yield from self._flush_batch(batch)
+        except BaseException as exc:
+            # remember why we died so waiters don't respawn us forever
+            self._flush_failure = exc
+            raise
+        finally:
+            self._flush_running = False
+
+    def _flush_batch(self, lpns: List[int]):
+        """Stripe a batch of buffered pages across parallel units.
+
+        GC for every target PU runs *before* any allocation: flash
+        programs must land in allocation order per chunk, so a GC that
+        allocated-and-programmed mid-batch would violate the device's
+        in-order write rule for pages the batch already reserved.
+        """
+        targets = []
+        for _ in lpns:
+            targets.append(self._next_pu())
+        for pu in sorted(set(targets)):
+            yield from self._gc_if_needed(pu)
+
+        by_pu: Dict[int, List[int]] = {}
+        placements: Dict[int, int] = {}
+        snapshots: Dict[int, Optional[bytearray]] = {}
+        for lpn, pu in zip(lpns, targets):
+            yield from self.cpu.execute(_MIX_FLUSH_PAGE, kernel=True)
+            snapshots[lpn] = self._buffer.get(lpn)
+            ppn = self._allocate(pu)
+            placements[lpn] = ppn
+            by_pu.setdefault(pu, []).append(lpn)
+
+        writes = []
+        for pu, pu_lpns in by_pu.items():
+            ppns = [placements[lpn] for lpn in pu_lpns]
+            data = None
+            if self.data_emulation:
+                data = [bytes(snapshots[lpn] or bytes(self.page_size))
+                        for lpn in pu_lpns]
+            writes.append(self.sim.process(
+                self.controller.vector_write(ppns, data)))
+        for proc in writes:
+            yield proc
+
+        for lpn, ppn in placements.items():
+            old = int(self.l2p[lpn])
+            self.l2p[lpn] = ppn
+            self.p2l[ppn] = lpn
+            pu, chunk, _page = self._decompose(ppn)
+            self._pus[pu].valid[chunk] += 1
+            if old != UNMAPPED:
+                self._invalidate(old)
+            # a write that re-dirtied the page mid-flush keeps its entry
+            if self._buffer.get(lpn) is snapshots[lpn]:
+                self._buffer.pop(lpn, None)
+            self.pages_flushed += 1
+            while self._buffer_waiters and \
+                    len(self._buffer) < self.buffer_capacity_pages:
+                self._buffer_waiters.popleft().succeed()
+
+    def _invalidate(self, ppn: int) -> None:
+        pu, chunk, _page = self._decompose(ppn)
+        self._pus[pu].valid[chunk] -= 1
+        self.p2l[ppn] = UNMAPPED
+        self.controller.invalidate(ppn)
+
+    def _next_pu(self) -> int:
+        self._pu_cursor = (self._pu_cursor + 1) % self.num_pu
+        return self._pu_cursor
+
+    def _allocate(self, pu: int) -> int:
+        state = self._pus[pu]
+        if state.active is None:
+            if not state.free:
+                raise RuntimeError(f"pblk: PU {pu} has no free chunks")
+            state.active = state.free.popleft()
+            state.next_page = 0
+        ppn = self._ppn(pu, state.active, state.next_page)
+        state.next_page += 1
+        if state.next_page >= self.pages_per_chunk:
+            state.active = None
+        return ppn
+
+    # -- read path -----------------------------------------------------------------------
+
+    def _read(self, req: IORequest, event):
+        req.t_device = self.sim.now
+        first_lpn = req.slba // self.sectors_per_page
+        n_pages = max(1, -(-(req.slba % self.sectors_per_page + req.nsectors)
+                           // self.sectors_per_page))
+        chunks: List[Optional[bytes]] = [None] * n_pages
+        flash: List[tuple] = []    # (index, ppn) needing a media read
+        for i in range(n_pages):
+            lpn = first_lpn + i
+            yield from self.cpu.execute(_MIX_READ_LOOKUP, kernel=True)
+            if lpn in self._buffer:
+                yield from self.memory.access(self.page_size)
+                buffered = self._buffer[lpn]
+                chunks[i] = (bytes(buffered) if buffered is not None
+                             else bytes(self.page_size))
+                continue
+            ppn = int(self.l2p[lpn]) if lpn < self.logical_pages else UNMAPPED
+            if ppn == UNMAPPED:
+                chunks[i] = bytes(self.page_size)
+            else:
+                flash.append((i, ppn))
+        if flash:
+            # one vector read covers every missing page (single command)
+            payloads = yield from self.controller.vector_read(
+                [ppn for _i, ppn in flash])
+            for (i, _ppn), payload in zip(flash, payloads):
+                chunks[i] = payload or bytes(self.page_size)
+        req.t_backend_done = self.sim.now
+        if self.data_emulation:
+            whole = b"".join(chunks)
+            start = (req.slba % self.sectors_per_page) * 512
+            event.succeed(whole[start:start + req.nbytes])
+        else:
+            event.succeed(None)
+
+    # -- flush / GC -----------------------------------------------------------------------
+
+    def _flush_then(self, event):
+        self._force_drain = True
+        try:
+            while self._buffer:
+                self._start_flush()
+                yield self.sim.timeout(50_000)
+        finally:
+            self._force_drain = False
+        event.succeed(None)
+
+    def _gc_if_needed(self, pu: int):
+        state = self._pus[pu]
+        if len(state.free) > self.gc_threshold_chunks or self._gc_busy[pu]:
+            return
+        self._gc_busy[pu] = True
+        try:
+            victim = self._pick_victim(pu)
+            if victim is None:
+                return
+            yield from self._collect(pu, victim)
+        finally:
+            self._gc_busy[pu] = False
+
+    def _pick_victim(self, pu: int) -> Optional[int]:
+        state = self._pus[pu]
+        candidates = [c for c in range(len(state.valid))
+                      if c != state.active and state.valid[c] >= 0
+                      and self._chunk_written(pu, c)
+                      and state.valid[c] < self.pages_per_chunk]
+        if not candidates:
+            return None
+        return min(candidates, key=lambda c: state.valid[c])
+
+    def _chunk_written(self, pu: int, chunk: int) -> bool:
+        state = self._pus[pu]
+        return chunk not in state.free and chunk != state.active
+
+    def _collect(self, pu: int, victim: int):
+        base = self._ppn(pu, victim, 0)
+        live = [(int(self.p2l[base + page]), base + page)
+                for page in range(self.pages_per_chunk)
+                if int(self.p2l[base + page]) != UNMAPPED]
+        for lpn, old_ppn in live:
+            yield from self.cpu.execute(_MIX_GC_PAGE, kernel=True)
+            payloads = yield from self.controller.vector_read([old_ppn])
+            new_pu = self._next_pu()
+            if not self._pus[new_pu].free and \
+                    self._pus[new_pu].active is None:
+                new_pu = pu
+            new_ppn = self._allocate(new_pu)
+            yield from self.controller.vector_write(
+                [new_ppn], [payloads[0]] if self.data_emulation else None)
+            self.l2p[lpn] = new_ppn
+            self.p2l[new_ppn] = lpn
+            npu, nchunk, _ = self._decompose(new_ppn)
+            self._pus[npu].valid[nchunk] += 1
+            self._invalidate(old_ppn)
+            self.gc_pages_migrated += 1
+        ok = yield from self.controller.vector_erase(pu, victim)
+        self._pus[pu].valid[victim] = 0
+        if ok:
+            self._pus[pu].free.append(victim)
+            self.gc_chunks_reclaimed += 1
+        else:
+            # chunk went OFFLINE: drop it from the pool for good
+            self._pus[pu].valid[victim] = self.pages_per_chunk
+            self.chunks_retired += 1

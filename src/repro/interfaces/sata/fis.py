@@ -1,0 +1,82 @@
+"""Frame Information Structures (FIS): SATA's wire-level packets.
+
+Every exchange on the SATA PHY is a FIS; the sizes matter because the
+half-duplex link serializes them.  NCQ read/write commands use
+Register H2D for the command, DMA Setup + Data FISes for payload, and
+Set Device Bits for out-of-order completion notification.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from itertools import count
+from typing import List, Tuple
+
+
+class FisType(enum.Enum):
+    REGISTER_H2D = 0x27     # host-to-device command
+    REGISTER_D2H = 0x34     # device-to-host status
+    DMA_ACTIVATE = 0x39
+    DMA_SETUP = 0x41
+    DATA = 0x46
+    BIST = 0x58
+    PIO_SETUP = 0x5F
+    SET_DEVICE_BITS = 0xA1  # NCQ completion notification
+
+
+FIS_SIZES = {
+    FisType.REGISTER_H2D: 20,
+    FisType.REGISTER_D2H: 20,
+    FisType.DMA_ACTIVATE: 4,
+    FisType.DMA_SETUP: 28,
+    FisType.DATA: 8192 + 4,   # max data FIS payload + header
+    FisType.BIST: 12,
+    FisType.PIO_SETUP: 20,
+    FisType.SET_DEVICE_BITS: 8,
+}
+
+#: maximum payload carried by one Data FIS
+DATA_FIS_PAYLOAD = 8192
+
+_CMD_SEQ = count(1)
+
+
+@dataclass
+class PrdtEntry:
+    """Physical Region Descriptor Table entry: one host-memory segment."""
+
+    address: int
+    nbytes: int
+
+
+@dataclass
+class AhciCommand:
+    """One entry of the AHCI command list (32 NCQ slots)."""
+
+    slot: int
+    is_write: bool
+    slba: int
+    nsectors: int
+    prdt: List[PrdtEntry] = field(default_factory=list)
+    ncq_tag: int = 0
+    seq: int = field(default_factory=lambda: next(_CMD_SEQ))
+
+    @property
+    def nbytes(self) -> int:
+        return self.nsectors * 512
+
+    def data_fis_count(self) -> int:
+        return max(1, -(-self.nbytes // DATA_FIS_PAYLOAD))
+
+
+def prdt_for(address: int, nbytes: int,
+             segment: int = 4096) -> List[PrdtEntry]:
+    """Build a PRDT covering a buffer in page-sized segments."""
+    entries = []
+    offset = 0
+    while offset < nbytes:
+        take = min(segment, nbytes - offset)
+        entries.append(PrdtEntry(address + offset, take))
+        offset += take
+    return entries

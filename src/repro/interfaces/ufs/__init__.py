@@ -1,0 +1,8 @@
+"""Universal Flash Storage: h-type storage for handheld platforms."""
+
+from repro.interfaces.ufs.upiu import UPIU_SIZES, Utrd, UpiuType
+from repro.interfaces.ufs.utp import UtpEngine
+from repro.interfaces.ufs.controller import UfsDeviceController
+
+__all__ = ["UpiuType", "UPIU_SIZES", "Utrd", "UtpEngine",
+           "UfsDeviceController"]

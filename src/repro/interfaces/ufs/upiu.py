@@ -1,0 +1,72 @@
+"""UFS protocol information units (UPIU) and transfer request descriptors.
+
+UFS layers SCSI-flavoured command/response UPIUs over the UTP transport;
+each UTP Transfer Request Descriptor (UTRD) in the 32-entry command list
+references a command UPIU, a response UPIU and a PRDT — structurally a
+close cousin of SATA/AHCI's NCQ machinery (Section IV-A).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from itertools import count
+from typing import List
+
+from repro.interfaces.sata.fis import PrdtEntry, prdt_for
+
+
+class UpiuType(enum.Enum):
+    NOP_OUT = 0x00
+    COMMAND = 0x01
+    DATA_OUT = 0x02
+    TASK_MANAGEMENT = 0x04
+    NOP_IN = 0x20
+    RESPONSE = 0x21
+    DATA_IN = 0x22
+    READY_TO_TRANSFER = 0x31
+    QUERY_RESPONSE = 0x36
+    REJECT = 0x3F
+
+
+UPIU_SIZES = {
+    UpiuType.NOP_OUT: 32,
+    UpiuType.COMMAND: 32,
+    UpiuType.DATA_OUT: 32 + 8192,
+    UpiuType.TASK_MANAGEMENT: 32,
+    UpiuType.NOP_IN: 32,
+    UpiuType.RESPONSE: 32,
+    UpiuType.DATA_IN: 32 + 8192,
+    UpiuType.READY_TO_TRANSFER: 32,
+    UpiuType.QUERY_RESPONSE: 288,
+    UpiuType.REJECT: 32,
+}
+
+#: data segment carried per DATA_IN/DATA_OUT UPIU
+UPIU_DATA_PAYLOAD = 8192
+
+UTRD_SLOTS = 32
+
+_SEQ = count(1)
+
+
+@dataclass
+class Utrd:
+    """UTP Transfer Request Descriptor: one command-list entry."""
+
+    slot: int
+    is_write: bool
+    slba: int
+    nsectors: int
+    prdt: List[PrdtEntry] = field(default_factory=list)
+    seq: int = field(default_factory=lambda: next(_SEQ))
+
+    @property
+    def nbytes(self) -> int:
+        return self.nsectors * 512
+
+
+def utrd_for(slot: int, is_write: bool, slba: int, nsectors: int,
+             buffer_addr: int) -> Utrd:
+    return Utrd(slot=slot, is_write=is_write, slba=slba, nsectors=nsectors,
+                prdt=prdt_for(buffer_addr, nsectors * 512))

@@ -1,0 +1,129 @@
+"""The event loop at the heart of the simulation."""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import Any, Iterator, Optional
+
+from repro.sim.events import AllOf, AnyOf, Event, Timeout
+from repro.sim.process import Process
+
+
+class EmptySchedule(Exception):
+    """Raised by :meth:`Simulator.step` when no events remain."""
+
+
+class Simulator:
+    """Deterministic discrete-event simulator.
+
+    Events scheduled for the same instant are processed in the order they
+    were enqueued (FIFO tie-break via a monotonically increasing sequence
+    number), which keeps every run bit-for-bit reproducible.
+    """
+
+    def __init__(self) -> None:
+        self._now: int = 0
+        self._queue: list = []
+        self._sequence: Iterator[int] = count()
+        self._event_count: int = 0
+        self._orphan_failures: list = []
+
+    def _record_orphan_failure(self, event) -> None:
+        self._orphan_failures.append(event)
+
+    def check_orphan_failures(self) -> None:
+        """Raise the first failure of a process nobody waited on."""
+        if self._orphan_failures:
+            raise self._orphan_failures[0].value
+
+    @property
+    def now(self) -> int:
+        """Current simulated time in nanoseconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Total events processed so far (simulation-speed metric)."""
+        return self._event_count
+
+    # -- factory helpers -------------------------------------------------
+
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: int, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, generator) -> Process:
+        return Process(self, generator)
+
+    def all_of(self, events) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events) -> AnyOf:
+        return AnyOf(self, events)
+
+    # -- scheduling ------------------------------------------------------
+
+    def _enqueue(self, delay: int, event: Event) -> None:
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay})")
+        heapq.heappush(self._queue, (self._now + int(delay), next(self._sequence), event))
+
+    def schedule(self, delay: int, callback, *args) -> Event:
+        """Run ``callback(*args)`` after ``delay`` ns; returns the event."""
+        event = Event(self)
+        event.callbacks.append(lambda _ev: callback(*args))
+        event.succeed(delay=delay)
+        return event
+
+    # -- execution -------------------------------------------------------
+
+    def peek(self) -> Optional[int]:
+        """Time of the next event, or ``None`` if the queue is empty."""
+        return self._queue[0][0] if self._queue else None
+
+    def step(self) -> None:
+        """Process exactly one event."""
+        if not self._queue:
+            raise EmptySchedule()
+        when, _seq, event = heapq.heappop(self._queue)
+        self._now = when
+        self._event_count += 1
+        event._process()
+
+    def run(self, until: Optional[int] = None) -> None:
+        """Run until the queue drains or simulated time reaches ``until``."""
+        if until is not None and until < self._now:
+            raise ValueError("until lies in the past")
+        while self._queue:
+            when = self._queue[0][0]
+            if until is not None and when > until:
+                self._now = until
+                return
+            self.step()
+        if until is not None:
+            self._now = until
+
+    def run_process(self, generator, until: Optional[int] = None) -> Any:
+        """Convenience: drive ``generator`` as a process to completion.
+
+        Steps the simulation only until the process finishes (other
+        queued work — background daemons, periodic samplers — stays
+        queued), returning the process return value.  Raises if the
+        process fails, or if the queue drains / ``until`` passes first.
+        """
+        proc = self.process(generator)
+        while not proc.processed and self._queue:
+            if until is not None and self._queue[0][0] > until:
+                self._now = until
+                break
+            self.step()
+        if not proc.processed:
+            self.check_orphan_failures()
+            raise RuntimeError("process did not complete"
+                               + ("" if until is None else " before the deadline"))
+        if not proc.ok:
+            raise proc.value
+        return proc.value

@@ -1,0 +1,170 @@
+"""Event primitives for the simulation kernel."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional
+
+
+class Event:
+    """A one-shot occurrence at a point in simulated time.
+
+    An event starts *pending*, becomes *triggered* when ``succeed`` or
+    ``fail`` is called (it is then on the simulator's queue), and becomes
+    *processed* once the simulator pops it and runs its callbacks.
+    Processes wait on events by ``yield``-ing them.
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_triggered", "_processed")
+
+    def __init__(self, sim) -> None:
+        self.sim = sim
+        self.callbacks: Optional[List[Callable[[Event], None]]] = []
+        self._value: Any = None
+        self._ok: bool = True
+        self._triggered = False
+        self._processed = False
+
+    @property
+    def triggered(self) -> bool:
+        return self._triggered
+
+    @property
+    def processed(self) -> bool:
+        return self._processed
+
+    @property
+    def ok(self) -> bool:
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        if not self._processed and not self._triggered:
+            raise RuntimeError("event value not yet available")
+        return self._value
+
+    def succeed(self, value: Any = None, delay: int = 0) -> "Event":
+        """Trigger the event successfully; callbacks run after ``delay`` ns."""
+        if self._triggered:
+            raise RuntimeError("event already triggered")
+        self._triggered = True
+        self._value = value
+        self._ok = True
+        self.sim._enqueue(delay, self)
+        return self
+
+    def fail(self, exception: BaseException, delay: int = 0) -> "Event":
+        """Trigger the event with an exception to be raised in waiters."""
+        if self._triggered:
+            raise RuntimeError("event already triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._triggered = True
+        self._value = exception
+        self._ok = False
+        self.sim._enqueue(delay, self)
+        return self
+
+    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        if self._processed:
+            # Late subscriber: run at the current instant, preserving order.
+            immediate = Event(self.sim)
+            immediate.callbacks.append(lambda _ev: callback(self))
+            immediate.succeed()
+        else:
+            self.callbacks.append(callback)
+
+    def _process(self) -> None:
+        self._processed = True
+        callbacks, self.callbacks = self.callbacks, None
+        if not self._ok and not callbacks:
+            # a failure nobody is waiting on would otherwise vanish and
+            # typically surface as a deadlock; let the simulator report it
+            self.sim._record_orphan_failure(self)
+        for callback in callbacks:
+            callback(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "processed" if self._processed else (
+            "triggered" if self._triggered else "pending")
+        return f"<{type(self).__name__} {state} at t={self.sim.now}>"
+
+
+class Timeout(Event):
+    """An event that fires a fixed delay after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim, delay: int, value: Any = None) -> None:
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay}")
+        super().__init__(sim)
+        self.delay = int(delay)
+        self._triggered = True
+        self._value = value
+        sim._enqueue(self.delay, self)
+
+
+class Interrupt(Exception):
+    """Raised inside a process that another process interrupted."""
+
+    def __init__(self, cause: Any = None) -> None:
+        super().__init__(cause)
+        self.cause = cause
+
+
+class _Condition(Event):
+    """Base for AllOf/AnyOf composite events."""
+
+    __slots__ = ("events", "_pending")
+
+    def __init__(self, sim, events) -> None:
+        super().__init__(sim)
+        self.events = list(events)
+        self._pending = 0
+        for event in self.events:
+            if event.processed:
+                if not event.ok:
+                    self.fail(event.value)
+                    return
+            else:
+                self._pending += 1
+                event.add_callback(self._child_done)
+        self._check()
+
+    def _child_done(self, event: Event) -> None:
+        self._pending -= 1
+        if self._triggered:
+            return
+        if not event.ok:
+            self.fail(event.value)
+            return
+        self._check()
+
+    def _check(self) -> None:
+        raise NotImplementedError
+
+    def _results(self):
+        return [event.value for event in self.events if event.processed and event.ok]
+
+
+class AllOf(_Condition):
+    """Triggers once every child event has been processed."""
+
+    __slots__ = ()
+
+    def _check(self) -> None:
+        if self._pending == 0 and not self._triggered:
+            self.succeed(self._results())
+
+
+class AnyOf(_Condition):
+    """Triggers as soon as any child event has been processed."""
+
+    __slots__ = ()
+
+    def _check(self) -> None:
+        if self._triggered:
+            return
+        if self._pending < len(self.events) or not self.events:
+            done = [event for event in self.events if event.processed]
+            self.succeed(done[0].value if done else None)

@@ -1,0 +1,95 @@
+"""Measurement instruments attached to simulated components."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+
+class TimeAverage:
+    """Time-weighted average of a piecewise-constant signal.
+
+    Used for queue depths, memory footprints and similar quantities whose
+    mean must be weighted by how long each value was held.
+    """
+
+    def __init__(self, sim, initial: float = 0.0) -> None:
+        self.sim = sim
+        self._value = initial
+        self._last_change = sim.now
+        self._weighted_sum = 0.0
+        self._origin = sim.now
+        self._samples: List[Tuple[int, float]] = [(sim.now, initial)]
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def set(self, value: float) -> None:
+        now = self.sim.now
+        self._weighted_sum += self._value * (now - self._last_change)
+        self._value = value
+        self._last_change = now
+        self._samples.append((now, value))
+
+    def add(self, delta: float) -> None:
+        self.set(self._value + delta)
+
+    def mean(self) -> float:
+        elapsed = self.sim.now - self._origin
+        if elapsed <= 0:
+            return self._value
+        total = self._weighted_sum + self._value * (self.sim.now - self._last_change)
+        return total / elapsed
+
+    def timeline(self) -> List[Tuple[int, float]]:
+        """(time_ns, value) change points — used for the Fig 15 timelines."""
+        return list(self._samples)
+
+
+class UtilizationTracker:
+    """Fraction of time a component spends busy, with interval sampling."""
+
+    def __init__(self, sim) -> None:
+        self.sim = sim
+        self._busy_depth = 0
+        self._busy_since: Optional[int] = None
+        self._busy_time = 0
+        self._origin = sim.now
+        self._marks: List[Tuple[int, int]] = []  # (time, cumulative busy ns)
+
+    def begin(self) -> None:
+        if self._busy_depth == 0:
+            self._busy_since = self.sim.now
+        self._busy_depth += 1
+
+    def end(self) -> None:
+        if self._busy_depth <= 0:
+            raise RuntimeError("end() without matching begin()")
+        self._busy_depth -= 1
+        if self._busy_depth == 0:
+            self._busy_time += self.sim.now - self._busy_since
+            self._busy_since = None
+
+    def busy_ns(self) -> int:
+        total = self._busy_time
+        if self._busy_since is not None:
+            total += self.sim.now - self._busy_since
+        return total
+
+    def utilization(self) -> float:
+        elapsed = self.sim.now - self._origin
+        return self.busy_ns() / elapsed if elapsed > 0 else 0.0
+
+    def mark(self) -> None:
+        """Record a sample point for interval utilization queries."""
+        self._marks.append((self.sim.now, self.busy_ns()))
+
+    def interval_utilization(self) -> List[Tuple[int, float]]:
+        """Per-interval utilization between successive ``mark()`` calls."""
+        points: List[Tuple[int, float]] = []
+        prev_t, prev_b = self._origin, 0
+        for t, b in self._marks:
+            span = t - prev_t
+            points.append((t, (b - prev_b) / span if span > 0 else 0.0))
+            prev_t, prev_b = t, b
+        return points

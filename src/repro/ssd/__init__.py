@@ -1,0 +1,18 @@
+"""The SSD device model: computation complex, storage complex, firmware.
+
+Mirrors Figure 5a of the paper:
+
+* ``repro.ssd.computation`` — embedded ARMv8 cores, internal DRAM and its
+  controller, CPU/DRAM power models;
+* ``repro.ssd.storage`` — multi-channel multi-way flash backend with
+  detailed transaction timing and a NAND power model;
+* ``repro.ssd.firmware`` — HIL, ICL, FTL and FIL;
+* ``repro.ssd.device`` — the assembled SSD exposed to interface
+  controllers;
+* ``repro.ssd.config`` — every knob, in one dataclass tree.
+"""
+
+from repro.ssd.config import SSDConfig
+from repro.ssd.device import SSD
+
+__all__ = ["SSDConfig", "SSD"]

@@ -1,0 +1,6 @@
+"""Computation complex: embedded ARMv8 cores + internal DRAM + power."""
+
+from repro.ssd.computation.cores import CpuComplex, EmbeddedCore
+from repro.ssd.computation.dram import InternalDram
+
+__all__ = ["EmbeddedCore", "CpuComplex", "InternalDram"]

@@ -1,0 +1,55 @@
+"""Content store: the actual bytes living on flash pages.
+
+When data emulation is enabled the device keeps real page payloads keyed
+by physical page number, so end-to-end integrity (host buffer -> DMA ->
+internal DRAM -> flash -> back) is checkable.  GC migrations copy
+content; erases drop it.  Disabled, every call is a cheap no-op and the
+simulation is timing-only.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.ssd.storage.address import AddressMapper
+
+
+class ContentStore:
+    def __init__(self, enabled: bool, page_size: int) -> None:
+        self.enabled = enabled
+        self.page_size = page_size
+        self._pages: Dict[int, bytes] = {}
+
+    def write(self, ppn: int, data: Optional[bytes]) -> None:
+        if not self.enabled:
+            return
+        if data is None:
+            data = bytes(self.page_size)
+        if len(data) != self.page_size:
+            raise ValueError(
+                f"content must be exactly one page ({self.page_size} B), "
+                f"got {len(data)} B")
+        self._pages[ppn] = data
+
+    def read(self, ppn: int) -> Optional[bytes]:
+        if not self.enabled:
+            return None
+        return self._pages.get(ppn)
+
+    def move(self, old_ppn: int, new_ppn: int) -> None:
+        if not self.enabled:
+            return
+        data = self._pages.get(old_ppn)
+        if data is not None:
+            self._pages[new_ppn] = data
+
+    def erase_block(self, mapper: AddressMapper, unit: int, block: int,
+                    pages_per_block: int) -> None:
+        if not self.enabled:
+            return
+        first = mapper.ppn_from_unit(unit, block, 0)
+        for ppn in range(first, first + pages_per_block):
+            self._pages.pop(ppn, None)
+
+    def __len__(self) -> int:
+        return len(self._pages)

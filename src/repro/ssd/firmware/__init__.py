@@ -1,0 +1,13 @@
+"""Flash firmware stack: HIL -> ICL -> FTL -> FIL (Figure 5a)."""
+
+from repro.ssd.firmware.hil import HostInterfaceLayer
+from repro.ssd.firmware.icl import InternalCacheLayer
+from repro.ssd.firmware.fil import FlashInterfaceLayer
+from repro.ssd.firmware.ftl.ftl import FlashTranslationLayer
+
+__all__ = [
+    "HostInterfaceLayer",
+    "InternalCacheLayer",
+    "FlashTranslationLayer",
+    "FlashInterfaceLayer",
+]

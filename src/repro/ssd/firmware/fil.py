@@ -1,0 +1,80 @@
+"""Flash Interface Layer: schedules flash transactions onto the backend.
+
+The FIL charges per-transaction firmware cost on its core, groups
+same-die programs into multi-plane operations when page offsets align,
+and spreads job issue according to the configured parallelism order.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Sequence
+
+from repro.common.instructions import InstructionMix
+from repro.sim import AllOf
+from repro.ssd.computation.cores import CpuComplex
+from repro.ssd.config import SSDConfig
+from repro.ssd.storage.backend import FlashBackend
+
+
+class FlashInterfaceLayer:
+    def __init__(self, sim, config: SSDConfig, cores: CpuComplex,
+                 backend: FlashBackend) -> None:
+        self.sim = sim
+        self.config = config
+        self.cores = cores
+        self.backend = backend
+        self._issue_mix = InstructionMix.typical(config.costs.fil_issue)
+        self.transactions = 0
+
+    def _charge(self):
+        self.transactions += 1
+        return self.cores.execute("fil", self._issue_mix)
+
+    def read(self, ppn: int, nbytes: int = 0):
+        """Process generator: one timed page read."""
+        yield from self._charge()
+        yield from self.backend.read_page(ppn, nbytes)
+
+    def program(self, ppn: int):
+        yield from self._charge()
+        yield from self.backend.program_page(ppn)
+
+    def erase(self, unit: int, block: int):
+        yield from self._charge()
+        ok = yield from self.backend.erase_block(unit, block)
+        return ok
+
+    def read_group(self, ppns: Sequence[int], nbytes_each: int = 0):
+        """Read several pages concurrently (they stripe across dies)."""
+        if not ppns:
+            return
+        events = [self.sim.process(self.read(ppn, nbytes_each)) for ppn in ppns]
+        yield AllOf(self.sim, events)
+
+    def program_group(self, ppns: Sequence[int]):
+        """Program several pages concurrently with multi-plane merging.
+
+        PPNs on the same die with identical page offsets fuse into one
+        multi-plane program; the rest issue as separate transactions.
+        """
+        if not ppns:
+            return
+        mapper = self.backend.mapper
+        by_die: Dict[int, List[int]] = defaultdict(list)
+        for ppn in ppns:
+            by_die[mapper.die_of_unit(mapper.unit_of_ppn(ppn))].append(ppn)
+
+        events = []
+        for die_ppns in by_die.values():
+            units = {mapper.unit_of_ppn(p) for p in die_ppns}
+            if len(die_ppns) > 1 and len(units) == len(die_ppns):
+                # one page per plane: a single multi-plane program pulse
+                events.append(self.sim.process(self._multiplane(die_ppns)))
+            else:
+                events.extend(self.sim.process(self.program(p)) for p in die_ppns)
+        yield AllOf(self.sim, events)
+
+    def _multiplane(self, ppns: List[int]):
+        yield from self._charge()
+        yield from self.backend.program_multiplane(ppns)

@@ -1,0 +1,21 @@
+"""Flash Translation Layer: mapping, allocation, GC, wear-leveling."""
+
+from repro.ssd.firmware.ftl.allocator import PageAllocator
+from repro.ssd.firmware.ftl.mapping import (
+    BlockMapping,
+    HybridMapping,
+    PageMapping,
+    make_mapping,
+)
+from repro.ssd.firmware.ftl.gc import select_victim
+from repro.ssd.firmware.ftl.ftl import FlashTranslationLayer
+
+__all__ = [
+    "PageAllocator",
+    "PageMapping",
+    "BlockMapping",
+    "HybridMapping",
+    "make_mapping",
+    "select_victim",
+    "FlashTranslationLayer",
+]

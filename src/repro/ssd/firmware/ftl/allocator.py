@@ -1,0 +1,156 @@
+"""Physical page allocation: write pointers, free pools, superpage striping.
+
+Each parallel unit (die-plane) owns an *active block* with an in-order
+write pointer and a pool of erased blocks.  Superpages stripe one page
+slot per unit across a configurable channel/way span, so a full-line
+flush programs all spanned units in parallel — the multi-channel,
+multi-way parallelism of Figure 2.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional
+
+from repro.ssd.config import SSDConfig
+from repro.ssd.storage.array import FlashArray
+
+
+class OutOfBlocksError(RuntimeError):
+    """A unit has no erased block to allocate from (GC must run first)."""
+
+
+class _UnitState:
+    __slots__ = ("free", "active", "filled", "retired")
+
+    def __init__(self, blocks: int) -> None:
+        self.free: Deque[int] = deque(range(blocks))
+        self.active: Optional[int] = None
+        self.filled: List[int] = []
+        self.retired: List[int] = []
+
+
+class PageAllocator:
+    """Write-pointer allocation over all parallel units."""
+
+    def __init__(self, config: SSDConfig, array: FlashArray) -> None:
+        self.config = config
+        self.array = array
+        geom = config.geometry
+        self._units = [_UnitState(geom.blocks_per_plane)
+                       for _ in range(geom.parallel_units)]
+        self._span_channels = config.superpage_channels or geom.channels
+        self._span_ways = config.superpage_ways
+        self._slots = self._span_channels * self._span_ways * geom.planes_per_die
+        if geom.channels % self._span_channels:
+            raise ValueError("superpage channel span must divide channel count")
+        if geom.ways_per_channel % self._span_ways:
+            raise ValueError("superpage way span must divide way count")
+
+    # -- superpage geometry -------------------------------------------------
+
+    @property
+    def slots_per_line(self) -> int:
+        return self._slots
+
+    def line_units(self, line_id: int) -> List[int]:
+        """Parallel units backing each page slot of a logical line.
+
+        Consecutive lines rotate across way groups (and channel groups if
+        the span is partial) so streams pipeline over all resources.
+        """
+        geom = self.config.geometry
+        planes = geom.planes_per_die
+        ways = geom.ways_per_channel
+        n_cgroups = geom.channels // self._span_channels
+        n_wgroups = ways // self._span_ways
+        cgroup = line_id % n_cgroups
+        wgroup = (line_id // n_cgroups) % n_wgroups
+
+        order = self.config.fil.parallelism_order
+        units: List[int] = []
+        for slot in range(self._slots):
+            if order == "way_first":
+                w_in = slot // (self._span_channels * planes)
+                rest = slot % (self._span_channels * planes)
+                ch_in = rest // planes
+            else:  # channel_first
+                ch_in = slot // (self._span_ways * planes)
+                rest = slot % (self._span_ways * planes)
+                w_in = rest // planes
+            plane = rest % planes
+            channel = cgroup * self._span_channels + ch_in
+            way = wgroup * self._span_ways + w_in
+            units.append((channel * ways + way) * planes + plane)
+        return units
+
+    # -- allocation -----------------------------------------------------------
+
+    def free_blocks(self, unit: int) -> int:
+        state = self._units[unit]
+        return len(state.free) + (1 if state.active is None else 0)
+
+    def needs_gc(self, unit: int) -> bool:
+        return len(self._units[unit].free) <= self.config.ftl.gc_threshold_free_blocks
+
+    def can_allocate(self, unit: int) -> bool:
+        state = self._units[unit]
+        if state.active is not None:
+            return True
+        return bool(state.free)
+
+    def allocate(self, unit: int, now: int) -> int:
+        """Claim the next in-order page of the unit's active block.
+
+        Updates the array state immediately (the physical write pointer
+        advanced); the caller charges flash timing separately.
+        """
+        geom = self.config.geometry
+        state = self._units[unit]
+        if state.active is None:
+            if not state.free:
+                raise OutOfBlocksError(f"unit {unit} has no free blocks")
+            state.active = state.free.popleft()
+        block = self.array.block(unit, state.active)
+        page = block.next_page
+        ppn = self.array.mapper.ppn_from_unit(unit, state.active, page)
+        self.array.program_ppn(ppn, now)
+        if block.is_fully_programmed(geom.pages_per_block):
+            state.filled.append(state.active)
+            state.active = None
+        return ppn
+
+    # -- GC support -------------------------------------------------------------
+
+    def filled_blocks(self, unit: int) -> List[int]:
+        return list(self._units[unit].filled)
+
+    def reclaim(self, unit: int, block: int) -> None:
+        """Return an erased block to the unit's free pool."""
+        state = self._units[unit]
+        if block in state.filled:
+            state.filled.remove(block)
+        state.free.append(block)
+
+    def retire_block(self, unit: int, block: int) -> None:
+        """Bad-block management: take a failed block out of service."""
+        state = self._units[unit]
+        if block in state.filled:
+            state.filled.remove(block)
+        if block in state.free:
+            state.free.remove(block)
+        if state.active == block:
+            state.active = None
+        state.retired.append(block)
+
+    def retired_blocks(self, unit: int) -> List[int]:
+        return list(self._units[unit].retired)
+
+    def total_retired(self) -> int:
+        return sum(len(state.retired) for state in self._units)
+
+    def gc_candidates(self, unit: int) -> List[int]:
+        """Blocks eligible as GC victims: fully programmed, not active."""
+        pages = self.config.geometry.pages_per_block
+        return [b for b in self._units[unit].filled
+                if self.array.block(unit, b).valid_count < pages]

@@ -1,0 +1,77 @@
+"""Garbage-collection victim selection policies.
+
+* **Greedy** [Bux & Iliadis]: pick the block with the fewest valid pages —
+  minimum migration cost right now.
+* **Cost-benefit** [Kawaguchi et al.]: maximize ``(1-u)/(2u) * age`` where
+  ``u`` is block utilization — prefers old, mostly-invalid blocks and
+  gives hot blocks time to accumulate more invalidations.
+
+Both are wear-aware when wear-leveling is enabled: among near-equal
+candidates the least-worn block wins, which spreads erases (the paper's
+"evenly distributed" erase behaviour).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.ssd.config import SSDConfig
+from repro.ssd.storage.array import FlashArray
+
+
+def select_victim(config: SSDConfig, array: FlashArray, unit: int,
+                  candidates: List[int], now: int) -> Optional[int]:
+    """Pick the GC victim block index for a unit, or None if no candidate."""
+    if not candidates:
+        return None
+    policy = config.ftl.gc_policy
+    if policy == "greedy":
+        scored = [(array.block(unit, b).valid_count, b) for b in candidates]
+    elif policy == "costbenefit":
+        pages = config.geometry.pages_per_block
+        scored = []
+        for b in candidates:
+            blk = array.block(unit, b)
+            u = blk.valid_count / pages
+            age = max(1, now - blk.last_write_time)
+            if u >= 1.0:
+                continue
+            # negate: lower score = better victim (matches greedy ordering)
+            benefit = (1.0 - u) / (2.0 * max(u, 1e-9)) * age
+            scored.append((-benefit, b))
+        if not scored:
+            return None
+    else:
+        raise ValueError(f"unknown GC policy {policy!r}")
+
+    scored.sort(key=lambda pair: pair[0])
+    if not config.ftl.wear_leveling:
+        return scored[0][1]
+
+    # Wear-aware tie-break: among candidates within one page (greedy) or
+    # 10% score (cost-benefit) of the best, take the least-erased block.
+    best_score = scored[0][0]
+    if policy == "greedy":
+        near = [b for score, b in scored if score <= best_score + 1]
+    else:
+        slack = abs(best_score) * 0.1
+        near = [b for score, b in scored if score <= best_score + slack]
+    return min(near, key=lambda b: array.block(unit, b).erase_count)
+
+
+def wear_leveling_swap_needed(config: SSDConfig, array: FlashArray,
+                              unit: int, candidates: List[int]) -> Optional[int]:
+    """Static wear-leveling: if the erase spread within a unit exceeds the
+    threshold, nominate the least-worn fully-valid block for migration so
+    its cold data moves and the block rejoins the erase rotation.
+    """
+    if not config.ftl.wear_leveling or not candidates:
+        return None
+    counts = [array.block(unit, b).erase_count
+              for b in range(config.geometry.blocks_per_plane)]
+    if max(counts) - min(counts) <= config.ftl.wear_delta_threshold:
+        return None
+    coldest = min(candidates, key=lambda b: array.block(unit, b).erase_count)
+    if array.block(unit, coldest).erase_count == min(counts):
+        return coldest
+    return None

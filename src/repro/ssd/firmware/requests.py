@@ -1,0 +1,100 @@
+"""Device-internal request representations.
+
+The device controller parses a host command into a :class:`DeviceCommand`;
+the HIL splits it into superpage-aligned :class:`LineRequest` pieces, the
+unit the ICL caches at.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import count
+from typing import Dict, List, Optional
+
+from repro.common.iorequest import IOKind, IORequest
+
+_CMD_IDS = count(1)
+
+
+@dataclass
+class DeviceCommand:
+    """A host command as seen inside the device, plus its completion event."""
+
+    kind: IOKind
+    slba: int
+    nsectors: int
+    queue_id: int = 0
+    priority: int = 1            # WRR class: 0 high, 1 medium, 2 low
+    data: Optional[bytes] = None
+    host_request: Optional[IORequest] = None
+    done_event: object = None    # sim Event, set by the device on submit
+    cmd_id: int = field(default_factory=lambda: next(_CMD_IDS))
+    t_fetched: int = -1
+
+    @property
+    def nbytes(self) -> int:
+        return self.nsectors * 512
+
+
+@dataclass
+class LineRequest:
+    """One superpage-line-aligned slice of a command.
+
+    ``page_sectors`` maps page-slot index (within the line) to the
+    (first_sector, n_sectors) range touched inside that flash page, in
+    page-relative sector units.
+    """
+
+    line_id: int                             # logical superpage number
+    is_write: bool
+    page_sectors: Dict[int, tuple]           # slot -> (sector_off, nsectors)
+    data_slices: Dict[int, bytes] = field(default_factory=dict)
+    parent: Optional[DeviceCommand] = None
+
+    @property
+    def slots(self) -> List[int]:
+        return sorted(self.page_sectors)
+
+
+def split_command(cmd: DeviceCommand, page_size: int,
+                  pages_per_line: int) -> List[LineRequest]:
+    """Split a command into superpage-line requests (HIL's request split).
+
+    Sectors are 512 B; pages are ``page_size``; a line holds
+    ``pages_per_line`` pages.
+    """
+    sectors_per_page = page_size // 512
+    sectors_per_line = sectors_per_page * pages_per_line
+    is_write = cmd.kind.is_write
+
+    out: List[LineRequest] = []
+    sector = cmd.slba
+    remaining = cmd.nsectors
+    data_cursor = 0
+    while remaining > 0:
+        line_id = sector // sectors_per_line
+        line_start = line_id * sectors_per_line
+        take = min(remaining, line_start + sectors_per_line - sector)
+
+        page_sectors: Dict[int, tuple] = {}
+        data_slices: Dict[int, bytes] = {}
+        piece_sector = sector
+        piece_left = take
+        while piece_left > 0:
+            slot = (piece_sector - line_start) // sectors_per_page
+            page_start = line_start + slot * sectors_per_page
+            in_page = min(piece_left, page_start + sectors_per_page - piece_sector)
+            page_sectors[slot] = (piece_sector - page_start, in_page)
+            if cmd.data is not None and is_write:
+                off = data_cursor * 512
+                data_slices[slot] = cmd.data[off:off + in_page * 512]
+                data_cursor += in_page
+            piece_sector += in_page
+            piece_left -= in_page
+
+        out.append(LineRequest(line_id=line_id, is_write=is_write,
+                               page_sectors=page_sectors,
+                               data_slices=data_slices, parent=cmd))
+        sector += take
+        remaining -= take
+    return out

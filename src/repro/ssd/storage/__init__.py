@@ -1,0 +1,16 @@
+"""Storage complex: multi-channel / multi-way flash with detailed timing."""
+
+from repro.ssd.storage.address import PPA, AddressMapper
+from repro.ssd.storage.array import BlockState, FlashArray, PageState
+from repro.ssd.storage.backend import FlashBackend
+from repro.ssd.storage.power import NandPowerMeter
+
+__all__ = [
+    "PPA",
+    "AddressMapper",
+    "PageState",
+    "BlockState",
+    "FlashArray",
+    "FlashBackend",
+    "NandPowerMeter",
+]

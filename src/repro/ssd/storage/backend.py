@@ -1,0 +1,204 @@
+"""Flash transaction execution: dies, channels, ONFi timing.
+
+The backend turns FTL-level page operations into timed resource usage:
+
+* each **die** executes one flash operation at a time (multi-plane
+  operations occupy the die once for all planes);
+* each **channel** is a shared ONFi bus; command/address cycles and data
+  transfers serialize on it;
+* reads hold the die through the data-out transfer (the page register is
+  busy until drained), writes release the channel before the long program
+  phase so other dies can stream data meanwhile — this coupling produces
+  the realistic channel/way conflict behaviour of Figure 2's architecture.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence
+
+from repro.common.units import transfer_ns
+from repro.sim import Resource
+from repro.ssd.config import SSDConfig
+from repro.ssd.storage.address import AddressMapper
+from repro.ssd.storage.power import NandPowerMeter
+
+
+class FlashBackend:
+    """Timed access to the flash array's dies and channels."""
+
+    def __init__(self, sim, config: SSDConfig, power: NandPowerMeter = None,
+                 erase_counts=None) -> None:
+        self.sim = sim
+        self.config = config
+        geom = config.geometry
+        self.mapper = AddressMapper(geom)
+        self.power = power or NandPowerMeter(sim, config.nand_power, geom)
+        self._dies: List[Resource] = [
+            Resource(sim, 1, name=f"die{i}") for i in range(geom.total_dies)]
+        self._channels: List[Resource] = [
+            Resource(sim, 1, name=f"ch{i}") for i in range(geom.channels)]
+        self._rng = random.Random(config.reliability.seed)
+        self._erase_count_of = erase_counts or (lambda unit, block: 0)
+        # observability
+        self.reads_issued = 0
+        self.programs_issued = 0
+        self.erases_issued = 0
+        self.read_retries = 0
+        self.erase_failures = 0
+
+    # -- media error injection ----------------------------------------------
+
+    def _wear_factor(self, unit: int, block: int) -> float:
+        rel = self.config.reliability
+        return 1.0 + rel.wear_acceleration \
+            * self._erase_count_of(unit, block) / 1000.0
+
+    def _read_needs_retry(self, unit: int, block: int) -> bool:
+        p = self.config.reliability.read_retry_probability
+        return p > 0 and self._rng.random() < min(
+            1.0, p * self._wear_factor(unit, block))
+
+    def _erase_fails(self, unit: int, block: int) -> bool:
+        p = self.config.reliability.erase_fail_probability
+        return p > 0 and self._rng.random() < min(
+            1.0, p * self._wear_factor(unit, block))
+
+    # -- resource lookup --------------------------------------------------
+
+    def die_resource(self, unit: int) -> Resource:
+        return self._dies[self.mapper.die_of_unit(unit)]
+
+    def channel_resource(self, unit: int) -> Resource:
+        return self._channels[self.mapper.channel_of_unit(unit)]
+
+    def die_utilizations(self) -> List[float]:
+        return [die.utilization() for die in self._dies]
+
+    def channel_utilizations(self) -> List[float]:
+        return [ch.utilization() for ch in self._channels]
+
+    # -- timing helpers ----------------------------------------------------
+
+    def _xfer_ns(self, nbytes: int) -> int:
+        return self.config.timing.t_cmd + transfer_ns(
+            nbytes, self.config.timing.channel_bandwidth)
+
+    def _payload_bytes(self, nbytes: int) -> int:
+        if self.config.fil.transfer_whole_page or nbytes <= 0:
+            return self.config.geometry.page_size
+        return min(nbytes, self.config.geometry.page_size)
+
+    # -- operations (generators to be driven as processes) -----------------
+
+    def read_page(self, ppn: int, nbytes: int = 0):
+        """Sense a page and drain it over the channel.
+
+        ``nbytes`` limits the data-out transfer (partial-page read); 0
+        means the whole page.
+        """
+        timing = self.config.timing
+        unit = self.mapper.unit_of_ppn(ppn)
+        page = self.mapper.page_of_ppn(ppn)
+        payload = self._payload_bytes(nbytes)
+        die = self.die_resource(unit)
+        channel = self.channel_resource(unit)
+
+        block = self.mapper.block_of_ppn(ppn)
+        yield die.acquire()
+        try:
+            yield self.sim.timeout(timing.t_read(page))
+            # ECC read-retry: re-sense with tuned thresholds until clean
+            retries = 0
+            while (self._read_needs_retry(unit, block)
+                   and retries < self.config.reliability.max_read_retries):
+                retries += 1
+                self.read_retries += 1
+                self.power.record_read()
+                yield self.sim.timeout(timing.t_read(page))
+            yield channel.acquire()
+            try:
+                yield self.sim.timeout(self._xfer_ns(payload))
+            finally:
+                channel.release()
+        finally:
+            die.release()
+        self.reads_issued += 1
+        self.power.record_read()
+        self.power.record_transfer(payload)
+
+    def program_page(self, ppn: int, nbytes: int = 0):
+        """Stream data in over the channel, then program the cell array."""
+        timing = self.config.timing
+        unit = self.mapper.unit_of_ppn(ppn)
+        page = self.mapper.page_of_ppn(ppn)
+        payload = self.config.geometry.page_size  # programs write whole pages
+        die = self.die_resource(unit)
+        channel = self.channel_resource(unit)
+
+        yield die.acquire()
+        try:
+            yield channel.acquire()
+            try:
+                yield self.sim.timeout(self._xfer_ns(payload))
+            finally:
+                channel.release()
+            yield self.sim.timeout(timing.t_prog(page))
+        finally:
+            die.release()
+        self.programs_issued += 1
+        self.power.record_program()
+        self.power.record_transfer(payload)
+
+    def program_multiplane(self, ppns: Sequence[int]):
+        """Multi-plane program: one die busy period covers sibling planes.
+
+        All PPNs must live on the same die at the same page offset; data
+        for each plane streams over the channel sequentially, then one
+        program pulse covers them all (slowest page wins).
+        """
+        if not ppns:
+            return
+        timing = self.config.timing
+        units = {self.mapper.die_of_unit(self.mapper.unit_of_ppn(p)) for p in ppns}
+        if len(units) != 1:
+            raise ValueError("multi-plane program must target a single die")
+        unit0 = self.mapper.unit_of_ppn(ppns[0])
+        payload = self.config.geometry.page_size
+        die = self.die_resource(unit0)
+        channel = self.channel_resource(unit0)
+
+        yield die.acquire()
+        try:
+            yield channel.acquire()
+            try:
+                yield self.sim.timeout(len(ppns) * self._xfer_ns(payload))
+            finally:
+                channel.release()
+            t_prog = max(timing.t_prog(self.mapper.page_of_ppn(p)) for p in ppns)
+            yield self.sim.timeout(t_prog)
+        finally:
+            die.release()
+        self.programs_issued += len(ppns)
+        for _ in ppns:
+            self.power.record_program()
+        self.power.record_transfer(payload * len(ppns))
+
+    def erase_block(self, unit: int, block: int):
+        """Erase one block; the die is busy for tERASE.
+
+        Returns True on success, False when the erase failed permanently
+        (the caller must retire the block — bad-block management).
+        """
+        die = self.die_resource(unit)
+        yield die.acquire()
+        try:
+            yield self.sim.timeout(self.config.timing.t_erase)
+        finally:
+            die.release()
+        self.erases_issued += 1
+        self.power.record_erase()
+        if self._erase_fails(unit, block):
+            self.erase_failures += 1
+            return False
+        return True

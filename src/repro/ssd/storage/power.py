@@ -1,0 +1,50 @@
+"""NAND power/energy meter (NANDFlashSim-style activity accounting)."""
+
+from __future__ import annotations
+
+from repro.common.units import SEC
+from repro.ssd.config import FlashGeometry, NandPower
+
+
+class NandPowerMeter:
+    """Accumulates per-operation energy plus die standby power."""
+
+    def __init__(self, sim, params: NandPower, geometry: FlashGeometry) -> None:
+        self.sim = sim
+        self.params = params
+        self.geometry = geometry
+        self._origin = sim.now
+        self.reads = 0
+        self.programs = 0
+        self.erases = 0
+        self.bytes_transferred = 0
+
+    def record_read(self) -> None:
+        self.reads += 1
+
+    def record_program(self) -> None:
+        self.programs += 1
+
+    def record_erase(self) -> None:
+        self.erases += 1
+
+    def record_transfer(self, nbytes: int) -> None:
+        self.bytes_transferred += nbytes
+
+    def dynamic_energy(self) -> float:
+        p = self.params
+        return (self.reads * p.e_read_page
+                + self.programs * p.e_prog_page
+                + self.erases * p.e_erase_block
+                + self.bytes_transferred * p.e_transfer_per_byte)
+
+    def standby_energy(self) -> float:
+        elapsed_s = (self.sim.now - self._origin) / SEC
+        return self.params.p_standby_per_die * self.geometry.total_dies * elapsed_s
+
+    def total_energy(self) -> float:
+        return self.dynamic_energy() + self.standby_energy()
+
+    def average_power(self) -> float:
+        elapsed_s = (self.sim.now - self._origin) / SEC
+        return self.total_energy() / elapsed_s if elapsed_s > 0 else 0.0

@@ -1,0 +1,136 @@
+"""Enterprise workload generators matching Table III.
+
+The paper reconstructs five enterprise traces (via TraceTracker [60]) and
+executes them at user level.  We generate statistically equivalent
+request streams: per-request direction, length and randomness follow the
+published per-workload characteristics.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.common.iorequest import IOKind, IORequest
+
+_SECTOR = 512
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Characteristics of one Table III workload."""
+
+    name: str
+    label: str                 # the paper's short code (W1..W5 context)
+    avg_read_kb: float
+    avg_write_kb: float
+    read_ratio: float          # fraction of requests that are reads
+    random_read: float         # fraction of reads with random addresses
+    random_write: float
+
+    def table_row(self) -> dict:
+        return {
+            "Workload": self.label,
+            "Avg. read length (KB)": self.avg_read_kb,
+            "Avg. write length (KB)": self.avg_write_kb,
+            "Read ratio (%)": round(self.read_ratio * 100),
+            "Random read (%)": round(self.random_read * 100),
+            "Random write (%)": round(self.random_write * 100),
+        }
+
+
+# Table III, verbatim characteristics.
+ENTERPRISE_WORKLOADS = {
+    "24HR": WorkloadSpec("24HR", "Authentication Server (24HR)",
+                         10.3, 8.1, 0.10, 0.97, 0.47),
+    "24HRS": WorkloadSpec("24HRS", "Back End SQL Server (24HRS)",
+                          106.2, 11.7, 0.18, 0.92, 0.43),
+    "CFS": WorkloadSpec("CFS", "MSN Storage metadata (CFS)",
+                        8.7, 12.6, 0.74, 0.94, 0.94),
+    "MSNFS": WorkloadSpec("MSNFS", "MSN Storage FS (MSNFS)",
+                          10.7, 11.2, 0.67, 0.98, 0.98),
+    "DAP": WorkloadSpec("DAP", "Display Ads Payload (DAP)",
+                        62.1, 97.2, 0.56, 0.03, 0.84),
+}
+
+
+class EnterpriseGenerator:
+    """Deterministic request stream with Table III statistics."""
+
+    def __init__(self, spec: WorkloadSpec, region_sectors: int,
+                 seed: int = 5) -> None:
+        if region_sectors < 4096:
+            raise ValueError("region too small for enterprise workloads")
+        self.spec = spec
+        self.region_sectors = region_sectors
+        self.rng = random.Random(seed)
+        self._seq_read_cursor = 0
+        self._seq_write_cursor = region_sectors // 2
+
+    def _length_sectors(self, avg_kb: float) -> int:
+        """Sample a request length around the published average.
+
+        Lengths follow a clipped lognormal-flavoured draw: mostly near
+        the mean with an occasional large transfer, matching how the
+        paper characterizes the traces (small requests dominate, a few
+        big ones move the average).
+        """
+        mean_sectors = max(1, round(avg_kb * 1024 / _SECTOR))
+        draw = self.rng.lognormvariate(0.0, 0.6)
+        sectors = max(1, round(mean_sectors * draw / 1.2))
+        return min(sectors, 4096)
+
+    def __iter__(self) -> Iterator[IORequest]:
+        while True:
+            yield self.next_request()
+
+    def next_labeled(self):
+        """Generate one request plus its ground-truth randomness label."""
+        is_read = self.rng.random() < self.spec.read_ratio
+        if is_read:
+            nsectors = self._length_sectors(self.spec.avg_read_kb)
+            is_random = self.rng.random() < self.spec.random_read
+        else:
+            nsectors = self._length_sectors(self.spec.avg_write_kb)
+            is_random = self.rng.random() < self.spec.random_write
+        nsectors = min(nsectors, self.region_sectors // 2)
+        if is_random:
+            slba = self.rng.randrange(self.region_sectors - nsectors)
+            slba -= slba % 8   # 4 KB alignment
+        elif is_read:
+            slba = self._seq_read_cursor % (self.region_sectors - nsectors)
+            self._seq_read_cursor = slba + nsectors
+        else:
+            slba = self._seq_write_cursor % (self.region_sectors - nsectors)
+            self._seq_write_cursor = slba + nsectors
+        req = IORequest(IOKind.READ if is_read else IOKind.WRITE,
+                        slba, nsectors)
+        return req, is_random
+
+    def next_request(self) -> IORequest:
+        req, _is_random = self.next_labeled()
+        return req
+
+    def sample_statistics(self, n: int = 2000) -> dict:
+        """Empirical statistics of the generated stream (validates Table III)."""
+        gen = EnterpriseGenerator(self.spec, self.region_sectors,
+                                  seed=self.rng.randrange(1 << 30))
+        reads, writes, rand_reads, rand_writes = [], [], 0, 0
+        for _ in range(n):
+            req, is_random = gen.next_labeled()
+            (reads if req.kind.is_read else writes).append(req.nsectors)
+            if is_random:
+                if req.kind.is_read:
+                    rand_reads += 1
+                else:
+                    rand_writes += 1
+        return {
+            "read_ratio": len(reads) / n,
+            "avg_read_kb": (sum(reads) / len(reads) * _SECTOR / 1024)
+            if reads else 0.0,
+            "avg_write_kb": (sum(writes) / len(writes) * _SECTOR / 1024)
+            if writes else 0.0,
+            "random_read": rand_reads / max(1, len(reads)),
+            "random_write": rand_writes / max(1, len(writes)),
+        }

@@ -1,0 +1,221 @@
+"""Unit tests for the SSD computation complex: cores, DRAM, power."""
+
+import pytest
+
+from repro.common.instructions import CLASSES, InstructionMix
+from repro.sim import Simulator
+from repro.ssd.computation.cores import FIRMWARE_ROLES, CpuComplex, EmbeddedCore
+from repro.ssd.computation.dram import InternalDram
+from repro.ssd.config import CoreConfig, DramConfig
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+class TestEmbeddedCore:
+    def test_execution_time_matches_cpi(self, sim):
+        config = CoreConfig(n_cores=1, frequency=1_000_000_000)
+        core = EmbeddedCore(sim, 0, config)
+        mix = InstructionMix(arith=1000)   # CPI 1.0 at 1 GHz -> 1000 ns
+        sim.run_process(core.execute(mix))
+        assert sim.now == 1000
+
+    def test_loads_cost_more_than_arith(self, sim):
+        config = CoreConfig(n_cores=1, frequency=1_000_000_000)
+        core = EmbeddedCore(sim, 0, config)
+        assert core.exec_ns(InstructionMix(load=1000)) > \
+            core.exec_ns(InstructionMix(arith=1000))
+
+    def test_custom_cpi_override(self, sim):
+        config = CoreConfig(n_cores=1, frequency=1_000_000_000,
+                            cpi={"arith": 2.0})
+        core = EmbeddedCore(sim, 0, config)
+        assert core.exec_ns(InstructionMix(arith=1000)) == 2000
+
+    def test_stats_accumulate(self, sim):
+        config = CoreConfig(n_cores=1, frequency=500_000_000)
+        core = EmbeddedCore(sim, 0, config)
+        sim.run_process(core.execute(InstructionMix.typical(1000)))
+        sim.run_process(core.execute(InstructionMix.typical(500)))
+        assert core.stats.total == 1500
+
+    def test_cpi_achieved_reflects_mix(self, sim):
+        config = CoreConfig(n_cores=1, frequency=1_000_000_000)
+        core = EmbeddedCore(sim, 0, config)
+        sim.run_process(core.execute(InstructionMix(load=1000)))
+        assert core.cpi_achieved() == pytest.approx(1.7, rel=0.05)
+
+    def test_energy_has_dynamic_and_leakage(self, sim):
+        config = CoreConfig(n_cores=1, frequency=1_000_000_000,
+                            energy_per_instruction=100e-12,
+                            leakage_per_core=0.1)
+        core = EmbeddedCore(sim, 0, config)
+        sim.run_process(core.execute(InstructionMix(arith=10_000)))
+        expected_dynamic = 10_000 * 100e-12
+        assert core.energy() > expected_dynamic    # leakage adds on top
+
+
+class TestCpuComplex:
+    def test_roles_map_to_cores(self, sim):
+        complex_ = CpuComplex(sim, CoreConfig(n_cores=3))
+        assert complex_.core_for("hil").index == 0
+        assert complex_.core_for("icl").index == 1
+        assert complex_.core_for("ftl").index == 2
+        assert complex_.core_for("fil").index == 2   # FIL shares FTL core
+
+    def test_single_core_hosts_everything(self, sim):
+        complex_ = CpuComplex(sim, CoreConfig(n_cores=1))
+        for role in FIRMWARE_ROLES:
+            assert complex_.core_for(role).index == 0
+
+    def test_unknown_role_rejected(self, sim):
+        complex_ = CpuComplex(sim, CoreConfig(n_cores=3))
+        with pytest.raises(ValueError):
+            complex_.core_for("dsp")
+
+    def test_merged_instruction_stats(self, sim):
+        complex_ = CpuComplex(sim, CoreConfig(n_cores=3))
+        sim.run_process(complex_.execute("hil", InstructionMix.typical(100)))
+        sim.run_process(complex_.execute("ftl", InstructionMix.typical(200)))
+        assert complex_.total_instructions() == 300
+        breakdown = complex_.instruction_stats().breakdown()
+        assert set(breakdown) == set(CLASSES)
+
+    def test_zero_cores_rejected(self, sim):
+        with pytest.raises(ValueError):
+            CpuComplex(sim, CoreConfig(n_cores=0))
+
+
+class TestInternalDram:
+    def _dram(self, sim, policy="open"):
+        return InternalDram(sim, DramConfig(page_policy=policy))
+
+    def test_row_hit_faster_than_miss(self, sim):
+        dram = self._dram(sim)
+
+        def scenario():
+            t0 = sim.now
+            yield from dram.access(0, 64)          # miss: first activate
+            miss_time = sim.now - t0
+            t0 = sim.now
+            yield from dram.access(64, 64)         # same row: hit
+            hit_time = sim.now - t0
+            return miss_time, hit_time
+
+        miss_time, hit_time = sim.run_process(scenario())
+        assert hit_time < miss_time
+        assert dram.row_hits == 1 and dram.row_misses == 1
+
+    def test_close_page_policy_always_activates(self, sim):
+        dram = self._dram(sim, policy="close")
+
+        def scenario():
+            yield from dram.access(0, 64)
+            yield from dram.access(64, 64)
+
+        sim.run_process(scenario())
+        assert dram.row_hits == 0
+        assert dram.activates == 2
+
+    def test_banks_interleave_rows(self, sim):
+        dram = self._dram(sim)
+        row_size = dram.config.row_size
+
+        def scenario():
+            yield from dram.access(0, 64)              # bank 0
+            yield from dram.access(row_size, 64)       # bank 1: no conflict
+            yield from dram.access(64, 64)             # bank 0 again: hit
+
+        sim.run_process(scenario())
+        assert dram.row_hits == 1
+
+    def test_large_transfer_bandwidth_bound(self, sim):
+        dram = self._dram(sim)
+        nbytes = 1 << 20
+
+        def scenario():
+            yield from dram.access(0, nbytes)
+
+        sim.run_process(scenario())
+        ideal_ns = nbytes / dram.config.bandwidth * 1e9
+        assert sim.now >= ideal_ns
+
+    def test_energy_components(self, sim):
+        dram = self._dram(sim)
+
+        def scenario():
+            yield from dram.access(0, 4096, write=True)
+            yield from dram.access(8192, 4096)
+            yield sim.timeout(1_000_000)
+
+        sim.run_process(scenario())
+        assert dram.dynamic_energy() > 0
+        assert dram.background_energy() > 0
+        assert dram.average_power() > 0
+
+    def test_zero_byte_access_is_free(self, sim):
+        dram = self._dram(sim)
+        sim.run_process(dram.access(0, 0))
+        assert sim.now == 0
+
+
+class TestSelfRefresh:
+    def test_long_idle_enters_self_refresh(self, sim):
+        dram = InternalDram(sim, DramConfig())
+
+        def scenario():
+            yield from dram.access(0, 64)
+            yield sim.timeout(10_000_000)     # 10 ms idle
+            yield from dram.access(0, 64)
+
+        sim.run_process(scenario())
+        assert dram.self_refresh_fraction() > 0.9
+
+    def test_busy_dram_never_self_refreshes(self, sim):
+        dram = InternalDram(sim, DramConfig())
+
+        def scenario():
+            for _ in range(100):
+                yield from dram.access(0, 64)
+                yield sim.timeout(1_000)      # well under the threshold
+
+        sim.run_process(scenario())
+        assert dram.self_refresh_fraction() == 0.0
+
+    def test_self_refresh_cuts_background_power(self, sim):
+        idle = InternalDram(sim, DramConfig())
+        busy_sim = Simulator()
+        busy = InternalDram(busy_sim, DramConfig())
+
+        def idle_scenario():
+            yield from idle.access(0, 64)
+            yield sim.timeout(50_000_000)
+
+        def busy_scenario():
+            deadline = 50_000_000
+            while busy_sim.now < deadline:
+                yield from busy.access(0, 64)
+                yield busy_sim.timeout(10_000)
+
+        sim.run_process(idle_scenario())
+        busy_sim.run_process(busy_scenario())
+        assert idle.background_energy() < busy.background_energy()
+
+    def test_wakeup_pays_exit_latency(self, sim):
+        dram = InternalDram(sim, DramConfig())
+
+        def scenario():
+            yield from dram.access(0, 64)
+            t_first_end = sim.now
+            yield from dram.access(64, 64)      # row hit, fast
+            warm = sim.now - t_first_end
+            yield sim.timeout(10_000_000)
+            t0 = sim.now
+            yield from dram.access(128, 64)     # after self-refresh exit
+            cold = sim.now - t0
+            return warm, cold
+
+        warm, cold = sim.run_process(scenario())
+        assert cold > warm

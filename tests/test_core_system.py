@@ -1,0 +1,189 @@
+"""Full-system tests: FIO engine, syscall layer, buffered I/O, presets."""
+
+import pytest
+
+from repro.core import presets
+from repro.core.fio import FioJob
+from repro.core.system import FullSystem
+
+from tests.conftest import tiny_ssd_config
+
+
+class TestFioJobValidation:
+    def test_rejects_bad_block_size(self):
+        with pytest.raises(ValueError):
+            FioJob(bs=1000)
+
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(ValueError):
+            FioJob(rw="readwrite")
+
+    def test_rejects_zero_depth(self):
+        with pytest.raises(ValueError):
+            FioJob(iodepth=0)
+
+    def test_mix_mode_draws_both_kinds(self):
+        import random
+        job = FioJob(rw="randrw", rwmixread=50)
+        rng = random.Random(1)
+        kinds = {job.kind_for(rng) for _ in range(50)}
+        assert len(kinds) == 2
+
+
+class TestFioEngine:
+    def test_runs_requested_io_count(self, tiny_config):
+        system = FullSystem(device=tiny_config, interface="nvme")
+        result = system.run_fio(FioJob(rw="randread", bs=2048, iodepth=4,
+                                       total_ios=120))
+        assert result.total_ios == 120
+        assert result.total_bytes == 120 * 2048
+        assert result.bandwidth_mbps > 0
+        assert result.latency.count > 0
+
+    def test_numjobs_spreads_streams(self, tiny_config):
+        system = FullSystem(device=tiny_config, interface="nvme")
+        result = system.run_fio(FioJob(rw="randread", bs=2048, iodepth=2,
+                                       numjobs=3, total_ios=60))
+        assert result.total_ios == 180
+
+    def test_runtime_bound_stops_early(self, tiny_config):
+        system = FullSystem(device=tiny_config, interface="nvme")
+        result = system.run_fio(FioJob(rw="randread", bs=2048, iodepth=2,
+                                       total_ios=0, runtime_ns=3_000_000))
+        assert 0 < result.total_ios
+        assert result.elapsed_ns >= 3_000_000
+
+    def test_deeper_queue_increases_bandwidth(self, tiny_config):
+        bws = {}
+        for depth in (1, 8):
+            system = FullSystem(device=tiny_config, interface="nvme")
+            system.precondition()
+            bws[depth] = system.run_fio(
+                FioJob(rw="randread", bs=2048, iodepth=depth,
+                       total_ios=200)).bandwidth_mbps
+        assert bws[8] > bws[1]
+
+    def test_region_bounds_respected(self, tiny_config):
+        system = FullSystem(device=tiny_config, interface="nvme")
+        # region of one block only: every I/O hits the same LBA
+        result = system.run_fio(FioJob(rw="randread", bs=2048, iodepth=2,
+                                       total_ios=50, size=2048))
+        assert result.total_ios == 50
+
+    def test_io_region_too_small_rejected(self, tiny_config):
+        system = FullSystem(device=tiny_config, interface="nvme")
+        with pytest.raises(ValueError, match="region"):
+            system.run_fio(FioJob(bs=65536, size=4096))
+
+    def test_memory_ledger_freed_after_run(self, tiny_config):
+        system = FullSystem(device=tiny_config, interface="nvme")
+        system.run_fio(FioJob(rw="randread", bs=2048, iodepth=2,
+                              total_ios=50))
+        assert system.memory.usage_of("fio") == 0
+
+
+class TestBufferedIo:
+    def test_buffered_read_hits_page_cache(self, tiny_config):
+        system = FullSystem(device=tiny_config, interface="nvme",
+                            data_emulation=True)
+
+        def scenario():
+            data = FullSystem.pattern_data(0, 8)
+            yield from system.write(0, 8, data)
+            first = yield from system.read(0, 8, direct=False)   # miss+install
+            again = yield from system.read(0, 8, direct=False)   # hit
+            assert first == data and again == data
+
+        system.run_process(scenario())
+        assert system.pagecache.hits >= 1
+
+    def test_buffered_write_absorbed(self, tiny_config):
+        system = FullSystem(device=tiny_config, interface="nvme")
+
+        def scenario():
+            yield from system.write(0, 8, direct=False)
+
+        system.run_process(scenario())
+        assert system.pagecache.dirty_pages() == [0]
+
+    def test_direct_io_bypasses_page_cache(self, tiny_config):
+        system = FullSystem(device=tiny_config, interface="nvme")
+
+        def scenario():
+            yield from system.write(0, 8, direct=True)
+            yield from system.read(0, 8, direct=True)
+
+        system.run_process(scenario())
+        assert system.pagecache.hits == 0
+        assert len(system.pagecache.dirty_pages()) == 0
+
+
+class TestPresets:
+    def test_all_presets_valid(self):
+        for name in presets.PRESETS:
+            config = presets.by_name(name)
+            config.validate()
+            assert config.logical_capacity > 0
+
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(ValueError):
+            presets.by_name("optane")
+
+    def test_intel750_matches_table1_shape(self):
+        config = presets.intel750()
+        assert config.geometry.channels == 12
+        assert config.geometry.packages_per_channel == 5
+        assert config.geometry.planes_per_die == 2
+        assert config.dram.size == 1 << 30
+
+    def test_zssd_is_fastest_flash(self):
+        z = presets.zssd()
+        for other in ("intel750", "850pro", "983dct"):
+            assert z.timing.t_read_avg < \
+                presets.by_name(other).timing.t_read_avg
+
+    def test_table1_configuration_verbatim(self):
+        table = presets.table1_configuration()
+        assert table["Storage back-end"]["Block"] == 512
+        assert table["NAND Flash timing (us)"]["tERASE"] == "3000"
+
+
+class TestSystemWiring:
+    def test_unknown_interface_rejected(self, tiny_config):
+        with pytest.raises(ValueError, match="interface"):
+            FullSystem(device=tiny_config, interface="scsi")
+
+    def test_unknown_kernel_rejected(self, tiny_config):
+        with pytest.raises(ValueError):
+            FullSystem(device=tiny_config, kernel="3.10")
+
+    def test_htype_forces_fifo_arbitration(self, tiny_config):
+        system = FullSystem(device=tiny_config, interface="sata")
+        assert system.ssd.config.hil.arbitration == "fifo"
+
+    def test_precondition_fills_mapping(self, tiny_config):
+        system = FullSystem(device=tiny_config, interface="nvme")
+        placed = system.precondition()
+        assert placed > 0
+        assert system.ssd.ftl.mapping.mapped_count == placed
+
+    def test_pattern_data_deterministic(self):
+        a = FullSystem.pattern_data(10, 4, seed=3)
+        b = FullSystem.pattern_data(10, 4, seed=3)
+        c = FullSystem.pattern_data(10, 4, seed=4)
+        assert a == b and a != c and len(a) == 4 * 512
+
+
+class TestStageBreakdown:
+    def test_stages_sum_to_total_latency(self, tiny_config):
+        system = FullSystem(device=tiny_config, interface="nvme")
+        system.precondition()
+        result = system.run_fio(FioJob(rw="randread", bs=2048, iodepth=4,
+                                       total_ios=200))
+        breakdown = result.stage_breakdown
+        assert set(breakdown) == {"kernel_submit", "interface", "device",
+                                  "completion"}
+        total = sum(breakdown.values())
+        assert total == pytest.approx(result.latency.mean(), rel=0.15)
+        # the device dominates small random reads
+        assert breakdown["device"] > breakdown["kernel_submit"]

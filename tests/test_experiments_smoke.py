@@ -1,0 +1,40 @@
+"""Fast smoke tests for the experiment drivers (full runs live in
+benchmarks/)."""
+
+from repro.experiments import fig03_04_baselines, tables
+
+
+class TestTables:
+    def test_run_and_render(self):
+        result = tables.run(quick=True)
+        text = tables.render(result)
+        assert "Table I" in text and "Table IV" in text
+        assert "Intel i7-4790K" in text
+
+    def test_table3_generators_validate(self):
+        result = tables.run(quick=True)
+        for name, data in result["table3"].items():
+            spec = data["spec"]
+            gen = data["generated"]
+            assert abs(gen["read_ratio"] * 100
+                       - spec["Read ratio (%)"]) < 10, name
+
+
+class TestFig0304:
+    def test_trend_classes(self):
+        result = fig03_04_baselines.run(quick=True)
+        trends = result["trend_classes"]
+        assert trends["flashsim"] == "constant"
+        assert trends["mqsim"] == "linear"
+        text = fig03_04_baselines.render(result)
+        assert "Fig 3" in text and "Fig 4" in text
+
+    def test_every_pattern_present(self):
+        result = fig03_04_baselines.run(quick=True)
+        assert set(result["patterns"]) == {"seqread", "randread",
+                                           "seqwrite", "randwrite"}
+        for per_sim in result["patterns"].values():
+            assert "real-device" in per_sim
+            for curve in per_sim.values():
+                for point in curve.values():
+                    assert point["bandwidth_mbps"] > 0

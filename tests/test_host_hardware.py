@@ -1,0 +1,220 @@
+"""Unit tests for the host hardware models (CPU, memory, buses, DMA)."""
+
+import pytest
+
+from repro.common.instructions import InstructionMix
+from repro.common.units import GB, GHZ, MB
+from repro.host.bus import SystemBus
+from repro.host.cpu import CpuModel, HostCpu
+from repro.host.dma import DmaEngine, PointerList
+from repro.host.memory import HostMemory
+from repro.host.pcie import PcieLink, SataLink, UfsLink
+from repro.host.platform import mobile_platform, pc_platform
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+class TestHostCpu:
+    def test_atomic_model_costs_nothing(self, sim):
+        cpu = HostCpu(sim, 4, 4 * GHZ, model=CpuModel.ATOMIC)
+        sim.run_process(cpu.execute(InstructionMix.typical(100_000)))
+        assert sim.now == 0
+
+    def test_timing_model_costs_time(self, sim):
+        cpu = HostCpu(sim, 4, 4 * GHZ, model=CpuModel.TIMING)
+        sim.run_process(cpu.execute(InstructionMix.typical(10_000)))
+        assert sim.now > 0
+
+    def test_o3_faster_than_in_order(self, sim):
+        mix = InstructionMix.typical(50_000)
+        o3 = HostCpu(sim, 1, 4 * GHZ, model=CpuModel.O3)
+        timing = HostCpu(sim, 1, 4 * GHZ, model=CpuModel.TIMING)
+        assert o3.exec_ns(mix) < timing.exec_ns(mix)
+
+    def test_frequency_scaling(self, sim):
+        mix = InstructionMix.typical(50_000)
+        slow = HostCpu(sim, 1, 2 * GHZ, model=CpuModel.O3)
+        fast = HostCpu(sim, 1, 8 * GHZ, model=CpuModel.O3)
+        assert slow.exec_ns(mix) == pytest.approx(4 * fast.exec_ns(mix),
+                                                  rel=0.01)
+
+    def test_cores_execute_in_parallel(self, sim):
+        cpu = HostCpu(sim, 2, 1 * GHZ, model=CpuModel.TIMING)
+        mix = InstructionMix.typical(10_000)
+
+        def both():
+            procs = [sim.process(cpu.execute(mix, core=0)),
+                     sim.process(cpu.execute(mix, core=1))]
+            for proc in procs:
+                yield proc
+
+        sim.run_process(both())
+        assert sim.now < 2 * cpu.exec_ns(mix)
+
+    def test_same_core_serializes(self, sim):
+        cpu = HostCpu(sim, 2, 1 * GHZ, model=CpuModel.TIMING)
+        mix = InstructionMix.typical(10_000)
+
+        def both():
+            procs = [sim.process(cpu.execute(mix, core=0)),
+                     sim.process(cpu.execute(mix, core=0))]
+            for proc in procs:
+                yield proc
+
+        sim.run_process(both())
+        assert sim.now >= 2 * cpu.exec_ns(mix)
+
+    def test_kernel_vs_user_utilization_tracked(self, sim):
+        cpu = HostCpu(sim, 1, 1 * GHZ, model=CpuModel.TIMING)
+        mix = InstructionMix.typical(10_000)
+
+        def work():
+            yield from cpu.execute(mix, core=0, kernel=True)
+            yield from cpu.execute(mix, core=0, kernel=False)
+
+        sim.run_process(work())
+        assert 0 < cpu.kernel_utilization() < 1
+        assert cpu.total_utilization() == pytest.approx(1.0)
+
+    def test_invalid_core_count(self, sim):
+        with pytest.raises(ValueError):
+            HostCpu(sim, 0, 1 * GHZ)
+
+
+class TestHostMemory:
+    def test_access_takes_time(self, sim):
+        mem = HostMemory(sim, 1 * GB, bandwidth=10 * GB)
+        sim.run_process(mem.access(4096))
+        assert sim.now > 0
+
+    def test_ledger_tracks_usage(self, sim):
+        mem = HostMemory(sim, 1 * GB, bandwidth=10 * GB)
+        mem.allocate("a", 100 * MB)
+        mem.allocate("b", 50 * MB)
+        assert mem.used_bytes == 150 * MB
+        mem.free("a")
+        assert mem.used_bytes == 50 * MB
+        assert mem.usage_of("b") == 50 * MB
+
+    def test_overcommit_rejected(self, sim):
+        mem = HostMemory(sim, 100 * MB, bandwidth=10 * GB)
+        with pytest.raises(MemoryError):
+            mem.allocate("big", 200 * MB)
+
+    def test_usage_timeline_records_changes(self, sim):
+        mem = HostMemory(sim, 1 * GB, bandwidth=10 * GB)
+        sim.schedule(100, lambda: mem.allocate("x", MB))
+        sim.schedule(200, lambda: mem.free("x"))
+        sim.run()
+        timeline = mem.usage_timeline()
+        values = [v for _t, v in timeline]
+        assert MB in values and values[-1] == 0
+
+
+class TestLinks:
+    def test_pcie_bandwidth_scales_with_lanes(self, sim):
+        x4 = PcieLink(sim, gen=3, lanes=4)
+        x8 = PcieLink(sim, gen=3, lanes=8)
+        assert x8.effective_bandwidth == pytest.approx(
+            2 * x4.effective_bandwidth)
+
+    def test_unsupported_gen_rejected(self, sim):
+        with pytest.raises(ValueError):
+            PcieLink(sim, gen=9)
+
+    def test_sata_half_duplex_serializes_directions(self, sim):
+        link = SataLink(sim)
+
+        def both():
+            procs = [sim.process(link.send(1 * MB)),
+                     sim.process(link.receive(1 * MB))]
+            for proc in procs:
+                yield proc
+
+        sim.run_process(both())
+        one_way = Simulator()
+        link2 = SataLink(one_way)
+        one_way.run_process(link2.send(1 * MB))
+        # both directions share one lane: total >= 2x one transfer
+        assert sim.now >= 2 * (one_way.now - link2.latency_ns)
+
+    def test_pcie_full_duplex_overlaps(self, sim):
+        link = PcieLink(sim)
+
+        def both():
+            procs = [sim.process(link.send(1 * MB)),
+                     sim.process(link.receive(1 * MB))]
+            for proc in procs:
+                yield proc
+
+        sim.run_process(both())
+        solo = Simulator()
+        link2 = PcieLink(solo)
+        solo.run_process(link2.send(1 * MB))
+        assert sim.now < 1.5 * solo.now
+
+    def test_ufs_slower_than_pcie(self, sim):
+        assert UfsLink(sim).effective_bandwidth < \
+            PcieLink(sim).effective_bandwidth
+
+
+class TestDmaEngine:
+    def _engine(self, sim, model=CpuModel.O3):
+        cpu = HostCpu(sim, 4, 4 * GHZ, model=model)
+        mem = HostMemory(sim, 1 * GB, bandwidth=20 * GB)
+        bus = SystemBus(sim, 16 * GB)
+        link = PcieLink(sim)
+        return DmaEngine(sim, cpu, mem, bus, link)
+
+    def test_pointer_list_covers_buffer(self):
+        pointers = PointerList.for_buffer(0x1000, 10_000, page_size=4096)
+        assert pointers.total_bytes == 10_000
+        assert len(pointers) == 3
+
+    def test_pointer_list_honours_page_alignment(self):
+        pointers = PointerList.for_buffer(0x1800, 8192, page_size=4096)
+        # unaligned start: first entry only reaches the page boundary
+        assert pointers.entries[0][1] == 4096 - 0x800
+        assert pointers.total_bytes == 8192
+
+    def test_timing_cpu_walks_every_entry(self, sim):
+        engine = self._engine(sim)
+        pointers = PointerList.for_buffer(0, 64 * 1024)
+        sim.run_process(engine.to_device(pointers))
+        timing_time = sim.now
+
+        sim2 = Simulator()
+        engine2 = self._engine(sim2, model=CpuModel.ATOMIC)
+        sim2.run_process(engine2.to_device(pointers))
+        # aggregated (functional CPU) transfer pays fewer fixed costs
+        assert sim2.now < timing_time
+
+    def test_transfer_counters(self, sim):
+        engine = self._engine(sim)
+        pointers = PointerList.for_buffer(0, 8192)
+        sim.run_process(engine.to_device(pointers))
+        sim.run_process(engine.to_host(pointers))
+        assert engine.bytes_to_device == 8192
+        assert engine.bytes_to_host == 8192
+        assert engine.transfers == 2
+
+
+class TestPlatforms:
+    def test_table2_rows_match_paper(self):
+        pc = pc_platform().table_row()
+        assert pc["CPU name"] == "Intel i7-4790K"
+        assert pc["Frequency"] == "4.4GHz"
+        assert pc["Memory"] == "DDR4-2400, 2 channel"
+        mobile = mobile_platform().table_row()
+        assert mobile["CPU name"] == "NVIDIA Jetson TX2"
+        assert mobile["ISA"] == "ARM v8"
+        assert mobile["L3 cache"] == "N/A"
+
+    def test_mobile_slower_than_pc(self):
+        assert mobile_platform().frequency < pc_platform().frequency
+        assert mobile_platform().memory_bandwidth < \
+            pc_platform().memory_bandwidth

@@ -1,0 +1,110 @@
+"""Calibration invariants: presets must keep the relationships the
+validation experiments rely on (fast device is fast, SATA is capped...).
+
+These are cheap guards against accidental de-calibration when someone
+edits a preset: they check *derived* quantities, not magic numbers.
+"""
+
+import pytest
+
+from repro.common.units import MB, SEC
+from repro.core import presets
+
+
+def device_read_service_ns(config):
+    """Rough per-4K-read service time: flash sense + channel transfer."""
+    timing = config.timing
+    transfer = 4096 / timing.channel_bandwidth * SEC
+    return timing.t_read_avg + transfer
+
+
+def hil_pipeline_ns(config):
+    """Per-command time on the HIL core (the saturation mechanism)."""
+    costs = config.costs
+    instr = costs.hil_fetch + costs.hil_complete + costs.doorbell_service
+    cycles = instr * 1.33   # average class CPI
+    return cycles / config.cores.frequency * SEC
+
+
+class TestRelativeSpeeds:
+    def test_zssd_flash_is_order_of_magnitude_faster(self):
+        z = device_read_service_ns(presets.zssd())
+        i = device_read_service_ns(presets.intel750())
+        assert z < i / 5
+
+    def test_hil_rate_supports_observed_saturation(self):
+        """Intel 750's firmware rate must cap IOPS in the few-hundred-K
+        range — that is what makes bandwidth saturate by QD 8-16."""
+        per_cmd = hil_pipeline_ns(presets.intel750())
+        iops_cap = SEC / per_cmd
+        assert 150_000 < iops_cap < 800_000
+
+    def test_sata_link_is_the_850pro_bottleneck(self):
+        """An h-type device must be PHY-limited, not flash-limited."""
+        from repro.host.pcie import SataLink
+        from repro.sim import Simulator
+        link = SataLink(Simulator())
+        config = presets.samsung850pro()
+        geom = config.geometry
+        flash_read_bw = (geom.total_dies * geom.page_size
+                         / (config.timing.t_read_avg / SEC))
+        assert link.effective_bandwidth < flash_read_bw
+
+    def test_parallel_units_match_paper_order(self):
+        assert presets.intel750().geometry.total_dies == 60   # 12 x 5
+
+    def test_all_presets_have_three_embedded_cores(self):
+        for name in ("intel750", "850pro", "zssd", "983dct"):
+            assert presets.by_name(name).cores.n_cores == 3
+
+    def test_mobile_preset_is_low_power(self):
+        ufs = presets.ufs_mobile()
+        nvme = presets.intel750()
+        ufs_static = ufs.cores.n_cores * ufs.cores.leakage_per_core
+        nvme_static = nvme.cores.n_cores * nvme.cores.leakage_per_core
+        assert ufs_static < nvme_static
+        assert ufs.cores.frequency < nvme.cores.frequency
+
+
+class TestCapacityScaling:
+    def test_presets_are_laptop_sized(self):
+        """Scaled-down capacity must stay simulation-friendly."""
+        for name in ("intel750", "850pro", "zssd", "983dct"):
+            config = presets.by_name(name)
+            assert config.logical_capacity < 8 * (1 << 30)
+            assert config.logical_pages < 4_000_000
+
+    def test_overprovision_survives_rounding(self):
+        for name in ("intel750", "850pro", "zssd", "983dct"):
+            config = presets.by_name(name)
+            physical = config.geometry.physical_capacity
+            logical = config.logical_capacity
+            actual_op = 1.0 - logical / physical
+            assert actual_op == pytest.approx(config.ftl.overprovision,
+                                              abs=0.02)
+
+    def test_superpage_spans_all_channels_by_default(self):
+        config = presets.intel750()
+        assert config.superpage_pages == (config.geometry.channels
+                                          * config.geometry.planes_per_die)
+
+
+class TestTimingSanity:
+    def test_erase_much_slower_than_program(self):
+        for name in ("intel750", "850pro", "983dct"):
+            timing = presets.by_name(name).timing
+            assert timing.t_erase > 1.5 * timing.t_prog_avg
+
+    def test_ispp_slow_pages_slower(self):
+        timing = presets.intel750().timing
+        assert timing.t_prog(1) > timing.t_prog(0)
+        assert timing.t_read(1) > timing.t_read(0)
+
+    def test_slc_class_flash_has_uniform_pages(self):
+        timing = presets.zssd().timing
+        assert timing.t_prog(0) == timing.t_prog(1)
+
+    def test_channel_bandwidth_in_onfi_range(self):
+        for name in ("intel750", "850pro", "zssd", "983dct"):
+            bw = presets.by_name(name).timing.channel_bandwidth
+            assert 200 * MB < bw < 2000 * MB

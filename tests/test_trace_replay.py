@@ -1,0 +1,91 @@
+"""Standalone trace-replay mode tests."""
+
+import pytest
+
+from repro.common.iorequest import IOKind
+from repro.sim import Simulator
+from repro.ssd.device import SSD
+from repro.ssd.trace import (
+    SsdTraceReplayer,
+    TraceRecord,
+    parse_trace,
+    synthetic_trace,
+)
+
+from tests.conftest import tiny_ssd_config
+
+
+@pytest.fixture
+def ssd(sim):
+    device = SSD(sim, tiny_ssd_config())
+    device.precondition_sequential()
+    return device
+
+
+class TestParse:
+    def test_parses_valid_lines(self):
+        lines = [
+            "# comment",
+            "",
+            "0 R 0 8",
+            "1000 W 16 8",
+            "2000 T 0 8",
+            "3000 F 0 0",
+        ]
+        records = list(parse_trace(lines))
+        assert len(records) == 4
+        assert records[0].kind == IOKind.READ
+        assert records[1].kind == IOKind.WRITE
+        assert records[2].kind == IOKind.TRIM
+        assert records[3].kind == IOKind.FLUSH
+
+    def test_bad_field_count(self):
+        with pytest.raises(ValueError, match="line 1"):
+            list(parse_trace(["0 R 0"]))
+
+    def test_unknown_op(self):
+        with pytest.raises(ValueError, match="unknown op"):
+            list(parse_trace(["0 X 0 8"]))
+
+
+class TestReplay:
+    def test_open_loop_honours_timestamps(self, sim, ssd):
+        trace = [TraceRecord(0, IOKind.READ, 0, 4),
+                 TraceRecord(5_000_000, IOKind.READ, 64, 4)]
+        result = SsdTraceReplayer(ssd).replay(trace, open_loop=True)
+        assert result.completed == 2
+        assert result.elapsed_ns >= 5_000_000
+
+    def test_closed_loop_ignores_timestamps(self, sim, ssd):
+        trace = [TraceRecord(50_000_000, IOKind.READ, i * 8, 4)
+                 for i in range(10)]
+        result = SsdTraceReplayer(ssd).replay(trace, open_loop=False,
+                                              iodepth=4)
+        assert result.completed == 10
+        assert result.elapsed_ns < 50_000_000
+
+    def test_replay_from_text(self, sim, ssd):
+        result = SsdTraceReplayer(ssd).replay(
+            ["0 R 0 8", "100 W 0 8", "200 F 0 0"])
+        assert result.completed == 3
+        assert result.mean_latency_us > 0
+
+    def test_synthetic_trace_shape(self):
+        trace = synthetic_trace(50, "seqwrite", bs=8192,
+                                interarrival_ns=1000)
+        assert len(trace) == 50
+        assert trace[1].slba == trace[0].slba + 16
+        assert trace[-1].time_ns == 49_000
+        assert all(r.kind == IOKind.WRITE for r in trace)
+
+    def test_closed_loop_deeper_is_faster(self, tiny_config):
+        results = {}
+        for depth in (1, 8):
+            sim = Simulator()
+            device = SSD(sim, tiny_config)
+            device.precondition_sequential()
+            trace = synthetic_trace(60, "randread", bs=2048,
+                                    region_sectors=tiny_config.logical_sectors)
+            results[depth] = SsdTraceReplayer(device).replay(
+                trace, open_loop=False, iodepth=depth)
+        assert results[8].elapsed_ns < results[1].elapsed_ns
