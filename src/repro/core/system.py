@@ -23,6 +23,7 @@ from repro.host.platform import HostPlatform, mobile_platform, pc_platform
 from repro.hostos.blocklayer import BlockLayer
 from repro.hostos.kernel import KernelProfile, kernel_by_version
 from repro.hostos.pagecache import PageCache
+from repro.obs import MetricsRegistry
 from repro.sim import Simulator
 from repro.ssd.config import SSDConfig
 from repro.ssd.device import SSD
@@ -74,6 +75,8 @@ class FullSystem:
         self._syscall_mix = InstructionMix.typical(
             self.kernel_profile.syscall_submit_instr)
         self._writeback_running = False
+        self.metrics = MetricsRegistry()
+        self._register_metrics()
 
     # -- wiring ------------------------------------------------------------------
 
@@ -120,6 +123,39 @@ class FullSystem:
                                       self.controller,
                                       data_emulation=self.data_emulation)
 
+    def _register_metrics(self) -> None:
+        """Publish every layer's instruments into one named-metric tree.
+
+        Values are read lazily at snapshot time, so registration costs
+        nothing during simulation (see ``docs/OBSERVABILITY.md``).
+        """
+        reg = self.metrics
+        self.cpu.register_metrics(reg)
+        self.memory.register_metrics(reg)
+        self.ssd.backend.register_metrics(reg)
+        blk = reg.scoped("os.block")
+        blk.register("submitted",
+                     lambda: float(self.blocklayer.requests_submitted))
+        blk.register("merged",
+                     lambda: float(self.blocklayer.requests_merged))
+        blk.register("dispatched",
+                     lambda: float(self.blocklayer.requests_dispatched))
+        dev = reg.scoped("ssd")
+        dev.register("hil.fetched",
+                     lambda: float(self.ssd.hil.commands_fetched))
+        dev.register("hil.completed",
+                     lambda: float(self.ssd.hil.commands_completed))
+        dev.register("icl.hit_rate", self.ssd.icl.hit_rate)
+        dev.register("icl.lines_flushed",
+                     lambda: float(self.ssd.icl.lines_flushed))
+        dev.register("ftl.gc_runs", lambda: float(self.ssd.ftl.gc_runs))
+        dev.register("ftl.write_amplification",
+                     self.ssd.ftl.write_amplification)
+        sim_scope = reg.scoped("sim")
+        sim_scope.register("events_processed",
+                           lambda: float(self.sim.events_processed))
+        sim_scope.register("now_ns", lambda: float(self.sim.now))
+
     # -- properties --------------------------------------------------------------
 
     @property
@@ -152,10 +188,19 @@ class FullSystem:
         Returns the completion event (fires with read payload or None).
         Buffered (non-direct) I/O consults the page cache first.
         """
+        # end-to-end span: syscall entry to user-visible completion; it
+        # closes from the completion event's callback, registered only
+        # when tracing is on so disabled runs stay event-identical
+        tracer = self.sim.tracer
+        span = tracer.begin("io.submit", req.req_id, op=req.kind.name,
+                            slba=req.slba, nbytes=req.nbytes) \
+            if tracer.enabled else None
         yield from self.cpu.execute(self._syscall_mix, core=core, kernel=True)
         if not direct:
             served = yield from self._buffered_path(req, stream_id, core)
             if served is not None:
+                if span is not None:
+                    tracer.end(span)
                 return served
         event = yield from self.blocklayer.submit(req, stream_id=stream_id,
                                                   core=core)
@@ -163,6 +208,8 @@ class FullSystem:
             event.add_callback(
                 lambda ev: self.pagecache.install_read(req.slba, req.nsectors,
                                                        ev.value))
+        if span is not None:
+            event.add_callback(lambda _ev: tracer.end(span))
         return event
 
     def _buffered_path(self, req: IORequest, stream_id: int,

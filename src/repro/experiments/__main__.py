@@ -4,7 +4,14 @@ Usage::
 
     python -m repro.experiments tables
     python -m repro.experiments fig08_09 --full
+    python -m repro.experiments fig10 --trace out.json --metrics out.csv
     python -m repro.experiments --list
+
+``--trace`` records a span trace of every simulated system (in
+simulated time) and writes Chrome ``trace_event`` JSON loadable at
+https://ui.perfetto.dev, plus a per-span-kind latency breakdown on
+stdout.  ``--metrics`` dumps each system's end-of-run metric snapshot
+as CSV.  See ``docs/OBSERVABILITY.md``.
 """
 
 from __future__ import annotations
@@ -13,6 +20,18 @@ import argparse
 import importlib
 import sys
 import time
+
+from repro.obs import (
+    disable_tracing,
+    enable_tracing,
+    format_breakdown,
+    latency_breakdown,
+    merge_spans,
+    metric_snapshots,
+    tracers,
+    write_chrome_trace,
+    write_metrics_csv,
+)
 
 EXPERIMENTS = {
     "tables": "repro.experiments.tables",
@@ -38,6 +57,11 @@ def main(argv=None) -> int:
                         help="run the full sweep (default: quick mode)")
     parser.add_argument("--list", action="store_true",
                         help="list available experiments")
+    parser.add_argument("--trace", metavar="OUT.json",
+                        help="record spans and write a Chrome trace "
+                             "(open at https://ui.perfetto.dev)")
+    parser.add_argument("--metrics", metavar="OUT.csv",
+                        help="dump per-system metric snapshots as CSV")
     args = parser.parse_args(argv)
 
     if args.list or not args.experiment:
@@ -50,10 +74,29 @@ def main(argv=None) -> int:
                      f"choose from {', '.join(EXPERIMENTS)}")
 
     module = importlib.import_module(EXPERIMENTS[args.experiment])
-    started = time.perf_counter()
-    result = module.run(quick=not args.full)
-    elapsed = time.perf_counter() - started
-    print(module.render(result))
+    observing = bool(args.trace or args.metrics)
+    if observing:
+        enable_tracing()
+    try:
+        started = time.perf_counter()
+        result = module.run(quick=not args.full)
+        elapsed = time.perf_counter() - started
+        print(module.render(result))
+        if args.trace:
+            n_events = write_chrome_trace(args.trace, tracers())
+            print(f"\n[trace: {n_events} spans from {len(tracers())} "
+                  f"system(s) -> {args.trace}]")
+            breakdown = latency_breakdown(merge_spans(tracers()))
+            if breakdown:
+                print("\nLatency breakdown per span kind "
+                      "(simulated time):")
+                print(format_breakdown(breakdown))
+        if args.metrics:
+            rows = write_metrics_csv(args.metrics, metric_snapshots())
+            print(f"\n[metrics: {rows} rows -> {args.metrics}]")
+    finally:
+        if observing:
+            disable_tracing()
     print(f"\n[{args.experiment} finished in {elapsed:.1f}s "
           f"({'full' if args.full else 'quick'} mode)]")
     return 0

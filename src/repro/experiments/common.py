@@ -7,6 +7,7 @@ from typing import Dict, List, Optional
 from repro.core import presets
 from repro.core.fio import FioJob
 from repro.core.system import FullSystem
+from repro.obs import collect_metrics
 from repro.ssd.config import SSDConfig
 from repro.workloads.synthetic import PATTERN_RW
 
@@ -28,6 +29,8 @@ def build_system(device_name: str, interface: Optional[str] = None,
     interface = interface or DEVICE_INTERFACES[device_name]
     system = FullSystem(device=device, interface=interface, **kwargs)
     system.precondition()
+    if system.sim.tracer.enabled:
+        system.sim.tracer.label = f"{device_name}/{interface}"
     return system
 
 
@@ -35,7 +38,16 @@ def run_pattern(system: FullSystem, pattern: str, depth: int, bs: int = 4096,
                 total_ios: int = 1000, seed: int = 21):
     job = FioJob(rw=PATTERN_RW[pattern], bs=bs, iodepth=depth,
                  total_ios=total_ios, seed=seed)
-    return system.run_fio(job)
+    result = system.run_fio(job)
+    tracer = system.sim.tracer
+    if tracer.enabled:
+        # label the system's tracer with the workload and bank its
+        # end-of-run metric snapshot for the --metrics CSV
+        base = getattr(tracer, "label", system.interface)
+        label = f"{base} {pattern} qd{depth} bs{bs}"
+        tracer.label = label
+        collect_metrics(label, system.metrics.snapshot())
+    return result
 
 
 def sweep_depths(device_name: str, pattern: str, depths: List[int],

@@ -136,3 +136,12 @@ class HostCpu:
 
     def instruction_total(self) -> int:
         return sum(core.stats.total for core in self._cores)
+
+    def register_metrics(self, registry, prefix: str = "host.cpu") -> None:
+        """Expose per-core utilization instruments under ``prefix``."""
+        scope = registry.scoped(prefix)
+        for i, core in enumerate(self._cores):
+            scope.register(f"core{i}.kernel.util", core.kernel_util.utilization)
+            scope.register(f"core{i}.user.util", core.user_util.utilization)
+        scope.register("kernel.util", self.kernel_utilization)
+        scope.register("instructions", lambda: float(self.instruction_total()))

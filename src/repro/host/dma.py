@@ -69,23 +69,27 @@ class DmaEngine:
                      pointers.total_bytes)]
         return pointers.entries
 
-    def to_device(self, pointers: PointerList):
+    def to_device(self, pointers: PointerList, track: int = 0):
         """Process: pull host pages and push them down the link."""
-        for address, length in self._segments(pointers):
-            del address
-            yield from self.memory.access(length)
-            yield from self.bus.transfer(length)
-            yield from self.link.send(length)
+        with self.sim.tracer.span("dma.to_device", track,
+                                  bytes=pointers.total_bytes):
+            for address, length in self._segments(pointers):
+                del address
+                yield from self.memory.access(length)
+                yield from self.bus.transfer(length)
+                yield from self.link.send(length)
         self.transfers += 1
         self.bytes_to_device += pointers.total_bytes
 
-    def to_host(self, pointers: PointerList):
+    def to_host(self, pointers: PointerList, track: int = 0):
         """Process: pull data up the link and scatter it into host pages."""
-        for address, length in self._segments(pointers):
-            del address
-            yield from self.link.receive(length)
-            yield from self.bus.transfer(length)
-            yield from self.memory.access(length, write=True)
+        with self.sim.tracer.span("dma.to_host", track,
+                                  bytes=pointers.total_bytes):
+            for address, length in self._segments(pointers):
+                del address
+                yield from self.link.receive(length)
+                yield from self.bus.transfer(length)
+                yield from self.memory.access(length, write=True)
         self.transfers += 1
         self.bytes_to_host += pointers.total_bytes
 

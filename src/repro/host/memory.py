@@ -22,7 +22,9 @@ class HostMemory:
         self.bandwidth = bandwidth
         self.access_latency = access_latency
         self._bus = Resource(sim, 1, name="host-dram")
-        self._usage = TimeAverage(sim, 0.0)
+        # the usage ledger feeds the Fig 15c timelines, so it keeps its
+        # (capped) change-point history
+        self._usage = TimeAverage(sim, 0.0, keep_timeline=True)
         self._holders: Dict[str, int] = {}
         self.bytes_moved = 0
 
@@ -75,3 +77,11 @@ class HostMemory:
 
     def utilization(self) -> float:
         return self._bus.utilization()
+
+    def register_metrics(self, registry, prefix: str = "host.mem") -> None:
+        """Expose the footprint and bus instruments under ``prefix``."""
+        scope = registry.scoped(prefix)
+        scope.register("used_bytes", lambda: float(self._usage.value))
+        scope.register("used_bytes.mean", self._usage.mean)
+        scope.register("bus.util", self._bus.utilization)
+        scope.register("bytes_moved", lambda: float(self.bytes_moved))

@@ -54,12 +54,21 @@ class BlockLayer:
         The returned event fires with the read payload (or None) once the
         ISR and completion path have run.
         """
+        # The block-layer span covers queueing through ISR/completion, so
+        # it cannot be a with-block here: it closes from the completion
+        # event's callback.  The registration is guarded on the tracer so
+        # disabled runs add no callbacks (and stay event-identical).
+        tracer = self.sim.tracer
+        span = tracer.begin("os.blocklayer", req.req_id, slba=req.slba) \
+            if tracer.enabled else None
         yield from self.cpu.execute(self._mix["block"], core=core, kernel=True)
         self.requests_submitted += 1
         user_event = self.sim.event()
 
         if self.profile.merge and self._try_merge(req, user_event):
             self.requests_merged += 1
+            if span is not None:
+                user_event.add_callback(lambda _ev: tracer.end(span))
             return user_event
 
         self._completion_events[req.req_id] = user_event
@@ -67,6 +76,8 @@ class BlockLayer:
         if req.kind in (IOKind.READ, IOKind.WRITE):
             self._mergeable[(req.kind.value, req.slba + req.nsectors)] = req
         self._kick()
+        if span is not None:
+            user_event.add_callback(lambda _ev: tracer.end(span))
         return user_event
 
     def _try_merge(self, req: IORequest, user_event) -> bool:

@@ -136,44 +136,47 @@ class NvmeController:
 
     def _execute(self, qid: int, sqe: SubmissionEntry):
         req = sqe.context
+        track = req.req_id if req is not None else 0
         pointers = PointerList(list(sqe.prp_entries))
         payload = None
 
-        if sqe.opcode is NvmeOpcode.WRITE:
-            # pull data host -> device (PRP walk), then hand to firmware
-            yield from self.dma.to_device(pointers)
-            cmd = DeviceCommand(IOKind.WRITE, sqe.slba, sqe.nsectors,
-                                queue_id=qid,
-                                priority=self.queue_priorities.get(qid, 1),
-                                data=req.data if req is not None else None,
-                                host_request=req)
-            if req is not None:
-                req.t_device = self.sim.now
-            done = self.ssd.submit(cmd)
-            yield done
-        elif sqe.opcode is NvmeOpcode.READ:
-            cmd = DeviceCommand(IOKind.READ, sqe.slba, sqe.nsectors,
-                                queue_id=qid,
-                                priority=self.queue_priorities.get(qid, 1),
-                                host_request=req)
-            if req is not None:
-                req.t_device = self.sim.now
-            done = self.ssd.submit(cmd)
-            payload = yield done
-            # push data device -> host (PRP walk)
-            yield from self.dma.to_host(pointers)
-        elif sqe.opcode is NvmeOpcode.FLUSH:
-            cmd = DeviceCommand(IOKind.FLUSH, 0, 0, queue_id=qid)
-            yield self.ssd.submit(cmd)
-        elif sqe.opcode is NvmeOpcode.DATASET_MANAGEMENT:
-            cmd = DeviceCommand(IOKind.TRIM, sqe.slba, sqe.nsectors,
-                                queue_id=qid)
-            yield self.ssd.submit(cmd)
-        else:
-            raise ValueError(f"controller cannot execute {sqe.opcode}")
+        with self.sim.tracer.span("nvme.cmd", track, qid=qid,
+                                  opcode=sqe.opcode.name):
+            if sqe.opcode is NvmeOpcode.WRITE:
+                # pull data host -> device (PRP walk), then hand to firmware
+                yield from self.dma.to_device(pointers, track=track)
+                cmd = DeviceCommand(IOKind.WRITE, sqe.slba, sqe.nsectors,
+                                    queue_id=qid,
+                                    priority=self.queue_priorities.get(qid, 1),
+                                    data=req.data if req is not None else None,
+                                    host_request=req)
+                if req is not None:
+                    req.t_device = self.sim.now
+                done = self.ssd.submit(cmd)
+                yield done
+            elif sqe.opcode is NvmeOpcode.READ:
+                cmd = DeviceCommand(IOKind.READ, sqe.slba, sqe.nsectors,
+                                    queue_id=qid,
+                                    priority=self.queue_priorities.get(qid, 1),
+                                    host_request=req)
+                if req is not None:
+                    req.t_device = self.sim.now
+                done = self.ssd.submit(cmd)
+                payload = yield done
+                # push data device -> host (PRP walk)
+                yield from self.dma.to_host(pointers, track=track)
+            elif sqe.opcode is NvmeOpcode.FLUSH:
+                cmd = DeviceCommand(IOKind.FLUSH, 0, 0, queue_id=qid)
+                yield self.ssd.submit(cmd)
+            elif sqe.opcode is NvmeOpcode.DATASET_MANAGEMENT:
+                cmd = DeviceCommand(IOKind.TRIM, sqe.slba, sqe.nsectors,
+                                    queue_id=qid)
+                yield self.ssd.submit(cmd)
+            else:
+                raise ValueError(f"controller cannot execute {sqe.opcode}")
 
-        if req is not None:
-            req.t_backend_done = self.sim.now
+            if req is not None:
+                req.t_backend_done = self.sim.now
         yield from self._complete(qid, sqe, payload)
 
     def _complete(self, qid: int, sqe: SubmissionEntry, payload):

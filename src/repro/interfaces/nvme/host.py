@@ -146,40 +146,42 @@ class NvmeDriver(HostAdapter):
         return event
 
     def _submit_proc(self, req: IORequest, qid: int, event):
-        qpair = self.qpairs[qid]
-        if qpair.sq.is_full:
-            waiter = self.sim.event()
-            self._waiting[qid].append(waiter)
-            yield waiter
+        with self.sim.tracer.span("nvme.sq", req.req_id, qid=qid):
+            qpair = self.qpairs[qid]
+            if qpair.sq.is_full:
+                waiter = self.sim.event()
+                self._waiting[qid].append(waiter)
+                yield waiter
 
-        opcode = {IOKind.READ: NvmeOpcode.READ,
-                  IOKind.WRITE: NvmeOpcode.WRITE,
-                  IOKind.FLUSH: NvmeOpcode.FLUSH,
-                  IOKind.TRIM: NvmeOpcode.DATASET_MANAGEMENT}[req.kind]
-        ns = self.namespaces.get(1)
-        slba = ns.translate(req.slba, req.nsectors) if ns and \
-            req.kind in (IOKind.READ, IOKind.WRITE) else req.slba
-        pointers = self._build_pointers(req)
-        sqe = SubmissionEntry(
-            opcode=opcode, nsid=1, slba=slba,
-            nlb=max(0, req.nsectors - 1),
-            prp_entries=list(pointers.entries),
-            transfer_mode=self.transfer_mode, context=req)
+            opcode = {IOKind.READ: NvmeOpcode.READ,
+                      IOKind.WRITE: NvmeOpcode.WRITE,
+                      IOKind.FLUSH: NvmeOpcode.FLUSH,
+                      IOKind.TRIM: NvmeOpcode.DATASET_MANAGEMENT}[req.kind]
+            ns = self.namespaces.get(1)
+            slba = ns.translate(req.slba, req.nsectors) if ns and \
+                req.kind in (IOKind.READ, IOKind.WRITE) else req.slba
+            pointers = self._build_pointers(req)
+            sqe = SubmissionEntry(
+                opcode=opcode, nsid=1, slba=slba,
+                nlb=max(0, req.nsectors - 1),
+                prp_entries=list(pointers.entries),
+                transfer_mode=self.transfer_mode, context=req)
 
-        # write the SQE into the SQ ring in system memory
-        yield from self.memory.access(SQE_BYTES, write=True)
-        # PRP list beyond the two in-SQE pointers needs a list page write;
-        # SGL writes one descriptor per segment
-        extra = len(pointers) - 2 if sqe.transfer_mode is TransferMode.PRP \
-            else len(pointers)
-        if extra > 0:
-            yield from self.memory.access(extra * _PRP_ENTRY_BYTES, write=True)
-        qpair.sq.push(sqe)
-        qpair.ring_sq_doorbell()
-        self._completions[sqe.cid] = (req, event)
-        self.commands_issued += 1
-        # doorbell: posted MMIO write through PCIe
-        yield from self.link.mmio_write()
+            # write the SQE into the SQ ring in system memory
+            yield from self.memory.access(SQE_BYTES, write=True)
+            # PRP list beyond the two in-SQE pointers needs a list page write;
+            # SGL writes one descriptor per segment
+            extra = len(pointers) - 2 if sqe.transfer_mode is TransferMode.PRP \
+                else len(pointers)
+            if extra > 0:
+                yield from self.memory.access(extra * _PRP_ENTRY_BYTES,
+                                              write=True)
+            qpair.sq.push(sqe)
+            qpair.ring_sq_doorbell()
+            self._completions[sqe.cid] = (req, event)
+            self.commands_issued += 1
+            # doorbell: posted MMIO write through PCIe
+            yield from self.link.mmio_write()
         self.controller.doorbell(qid)
 
     # -- completion path (called by the controller after MSI-X) -----------------

@@ -131,31 +131,33 @@ class PblkDriver(HostAdapter):
     # -- write path -------------------------------------------------------------------
 
     def _write(self, req: IORequest, event):
-        req.t_device = self.sim.now
-        first_lpn = req.slba // self.sectors_per_page
-        n_pages = max(1, -(-req.nsectors // self.sectors_per_page))
-        for i in range(n_pages):
-            lpn = first_lpn + i
-            if lpn >= self.logical_pages:
-                raise ValueError(f"lpn {lpn} beyond pblk capacity")
-            yield from self.cpu.execute(_MIX_WRITE_ENTRY, kernel=True)
-            while len(self._buffer) >= self.buffer_capacity_pages:
+        with self.sim.tracer.span("ocssd.pblk.write", req.req_id,
+                                  nsectors=req.nsectors):
+            req.t_device = self.sim.now
+            first_lpn = req.slba // self.sectors_per_page
+            n_pages = max(1, -(-req.nsectors // self.sectors_per_page))
+            for i in range(n_pages):
+                lpn = first_lpn + i
+                if lpn >= self.logical_pages:
+                    raise ValueError(f"lpn {lpn} beyond pblk capacity")
+                yield from self.cpu.execute(_MIX_WRITE_ENTRY, kernel=True)
+                while len(self._buffer) >= self.buffer_capacity_pages:
+                    self._start_flush()
+                    waiter = self.sim.event()
+                    self._buffer_waiters.append(waiter)
+                    yield waiter
+                payload = None
+                if self.data_emulation and req.data is not None:
+                    off = i * self.page_size
+                    payload = bytearray(req.data[off:off + self.page_size]
+                                        .ljust(self.page_size, b"\0"))
+                self._buffer[lpn] = payload
+                self._buffer.move_to_end(lpn)
+                self.writes_buffered += 1
+                yield from self.memory.access(self.page_size, write=True)
+            if len(self._buffer) >= self.buffer_capacity_pages // 2:
                 self._start_flush()
-                waiter = self.sim.event()
-                self._buffer_waiters.append(waiter)
-                yield waiter
-            payload = None
-            if self.data_emulation and req.data is not None:
-                off = i * self.page_size
-                payload = bytearray(req.data[off:off + self.page_size]
-                                    .ljust(self.page_size, b"\0"))
-            self._buffer[lpn] = payload
-            self._buffer.move_to_end(lpn)
-            self.writes_buffered += 1
-            yield from self.memory.access(self.page_size, write=True)
-        if len(self._buffer) >= self.buffer_capacity_pages // 2:
-            self._start_flush()
-        req.t_backend_done = self.sim.now
+            req.t_backend_done = self.sim.now
         event.succeed(None)
 
     def _start_flush(self) -> None:
@@ -268,33 +270,37 @@ class PblkDriver(HostAdapter):
     # -- read path -----------------------------------------------------------------------
 
     def _read(self, req: IORequest, event):
-        req.t_device = self.sim.now
-        first_lpn = req.slba // self.sectors_per_page
-        n_pages = max(1, -(-(req.slba % self.sectors_per_page + req.nsectors)
-                           // self.sectors_per_page))
-        chunks: List[Optional[bytes]] = [None] * n_pages
-        flash: List[tuple] = []    # (index, ppn) needing a media read
-        for i in range(n_pages):
-            lpn = first_lpn + i
-            yield from self.cpu.execute(_MIX_READ_LOOKUP, kernel=True)
-            if lpn in self._buffer:
-                yield from self.memory.access(self.page_size)
-                buffered = self._buffer[lpn]
-                chunks[i] = (bytes(buffered) if buffered is not None
-                             else bytes(self.page_size))
-                continue
-            ppn = int(self.l2p[lpn]) if lpn < self.logical_pages else UNMAPPED
-            if ppn == UNMAPPED:
-                chunks[i] = bytes(self.page_size)
-            else:
-                flash.append((i, ppn))
-        if flash:
-            # one vector read covers every missing page (single command)
-            payloads = yield from self.controller.vector_read(
-                [ppn for _i, ppn in flash])
-            for (i, _ppn), payload in zip(flash, payloads):
-                chunks[i] = payload or bytes(self.page_size)
-        req.t_backend_done = self.sim.now
+        with self.sim.tracer.span("ocssd.pblk.read", req.req_id,
+                                  nsectors=req.nsectors):
+            req.t_device = self.sim.now
+            first_lpn = req.slba // self.sectors_per_page
+            n_pages = max(1, -(-(req.slba % self.sectors_per_page
+                                 + req.nsectors)
+                               // self.sectors_per_page))
+            chunks: List[Optional[bytes]] = [None] * n_pages
+            flash: List[tuple] = []    # (index, ppn) needing a media read
+            for i in range(n_pages):
+                lpn = first_lpn + i
+                yield from self.cpu.execute(_MIX_READ_LOOKUP, kernel=True)
+                if lpn in self._buffer:
+                    yield from self.memory.access(self.page_size)
+                    buffered = self._buffer[lpn]
+                    chunks[i] = (bytes(buffered) if buffered is not None
+                                 else bytes(self.page_size))
+                    continue
+                ppn = int(self.l2p[lpn]) if lpn < self.logical_pages \
+                    else UNMAPPED
+                if ppn == UNMAPPED:
+                    chunks[i] = bytes(self.page_size)
+                else:
+                    flash.append((i, ppn))
+            if flash:
+                # one vector read covers every missing page (single command)
+                payloads = yield from self.controller.vector_read(
+                    [ppn for _i, ppn in flash])
+                for (i, _ppn), payload in zip(flash, payloads):
+                    chunks[i] = payload or bytes(self.page_size)
+            req.t_backend_done = self.sim.now
         if self.data_emulation:
             whole = b"".join(chunks)
             start = (req.slba % self.sectors_per_page) * 512

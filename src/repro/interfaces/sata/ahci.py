@@ -59,34 +59,35 @@ class AhciHba(HostAdapter):
         return event
 
     def _submit_proc(self, req: IORequest, event):
-        if not self._free_slots:
-            waiter = self.sim.event()
-            self._slot_waiters.append(waiter)
-            yield waiter
-        slot = self._free_slots.popleft()
+        with self.sim.tracer.span("ahci.submit", req.req_id):
+            if not self._free_slots:
+                waiter = self.sim.event()
+                self._slot_waiters.append(waiter)
+                yield waiter
+            slot = self._free_slots.popleft()
 
-        if req.kind == IOKind.FLUSH:
-            cmd = AhciCommand(slot=slot, is_write=True, slba=0, nsectors=0,
-                              ncq_tag=slot)
-        else:
-            cmd = AhciCommand(
-                slot=slot, is_write=req.kind.is_write,
-                slba=req.slba, nsectors=req.nsectors,
-                prdt=prdt_for(buffer_address(req), req.nbytes),
-                ncq_tag=slot)
-        req.queue_id = 0  # single interrupt line: everything lands on core 0
+            if req.kind == IOKind.FLUSH:
+                cmd = AhciCommand(slot=slot, is_write=True, slba=0,
+                                  nsectors=0, ncq_tag=slot)
+            else:
+                cmd = AhciCommand(
+                    slot=slot, is_write=req.kind.is_write,
+                    slba=req.slba, nsectors=req.nsectors,
+                    prdt=prdt_for(buffer_address(req), req.nbytes),
+                    ncq_tag=slot)
+            req.queue_id = 0  # single interrupt line: all lands on core 0
 
-        # driver writes command table + PRDT into system memory
-        table_bytes = (_COMMAND_TABLE_BYTES
-                       + len(cmd.prdt) * _PRDT_ENTRY_BYTES)
-        yield from self.memory.access(table_bytes, write=True)
-        # HBA fetches the command from the list and processes it
-        yield from self.memory.access(table_bytes)
-        yield self.sim.timeout(_HBA_PROCESS_NS)
-        # Register H2D command FIS travels the (half-duplex) PHY
-        yield from self.link.send(FIS_SIZES[FisType.REGISTER_H2D])
-        self._outstanding[cmd.ncq_tag] = (cmd, req, event)
-        self.commands_issued += 1
+            # driver writes command table + PRDT into system memory
+            table_bytes = (_COMMAND_TABLE_BYTES
+                           + len(cmd.prdt) * _PRDT_ENTRY_BYTES)
+            yield from self.memory.access(table_bytes, write=True)
+            # HBA fetches the command from the list and processes it
+            yield from self.memory.access(table_bytes)
+            yield self.sim.timeout(_HBA_PROCESS_NS)
+            # Register H2D command FIS travels the (half-duplex) PHY
+            yield from self.link.send(FIS_SIZES[FisType.REGISTER_H2D])
+            self._outstanding[cmd.ncq_tag] = (cmd, req, event)
+            self.commands_issued += 1
         self.controller.command_arrived(cmd, req)
 
     # -- completion (device controller calls back) ------------------------------
@@ -94,8 +95,9 @@ class AhciHba(HostAdapter):
     def command_done(self, ncq_tag: int, payload: Optional[bytes]):
         """Process generator: Set Device Bits FIS -> interrupt -> slot free."""
         cmd, req, event = self._outstanding.pop(ncq_tag)
-        yield from self.link.receive(FIS_SIZES[FisType.SET_DEVICE_BITS])
-        yield self.sim.timeout(_HBA_PROCESS_NS)
+        with self.sim.tracer.span("ahci.complete", req.req_id):
+            yield from self.link.receive(FIS_SIZES[FisType.SET_DEVICE_BITS])
+            yield self.sim.timeout(_HBA_PROCESS_NS)
         self.interrupts_raised += 1
         req.t_backend_done = req.t_backend_done if req.t_backend_done >= 0 \
             else self.sim.now

@@ -31,33 +31,37 @@ class SataDeviceController:
         self.sim.process(self._execute(cmd, req))
 
     def _execute(self, cmd: AhciCommand, req: IORequest):
-        # device controller parses the FIS and builds an internal command
-        yield from self.ssd.cores.execute("hil", self._parse_mix)
-        pointers = PointerList([(e.address, e.nbytes) for e in cmd.prdt])
-        payload = None
-        req.t_device = self.sim.now
+        with self.sim.tracer.span("sata.cmd", req.req_id,
+                                  ncq_tag=cmd.ncq_tag):
+            # device controller parses the FIS, builds an internal command
+            yield from self.ssd.cores.execute("hil", self._parse_mix)
+            pointers = PointerList([(e.address, e.nbytes) for e in cmd.prdt])
+            payload = None
+            req.t_device = self.sim.now
 
-        if req.kind == IOKind.FLUSH:
-            done = self.ssd.submit(DeviceCommand(IOKind.FLUSH, 0, 0))
-            yield done
-        elif cmd.is_write:
-            # DMA Setup handshake, then the HBA streams data FISes while
-            # the DMA engine performs the PRDT walk / double copy
-            yield from self.dma.control_to_device(
-                FIS_SIZES[FisType.DMA_SETUP])
-            yield from self.dma.to_device(pointers)
-            device_cmd = DeviceCommand(IOKind.WRITE, cmd.slba, cmd.nsectors,
-                                       queue_id=0, data=req.data,
-                                       host_request=req)
-            yield self.ssd.submit(device_cmd)
-        else:
-            device_cmd = DeviceCommand(IOKind.READ, cmd.slba, cmd.nsectors,
-                                       queue_id=0, host_request=req)
-            payload = yield self.ssd.submit(device_cmd)
-            yield from self.dma.control_to_host(
-                FIS_SIZES[FisType.DMA_SETUP])
-            yield from self.dma.to_host(pointers)
+            if req.kind == IOKind.FLUSH:
+                done = self.ssd.submit(DeviceCommand(IOKind.FLUSH, 0, 0))
+                yield done
+            elif cmd.is_write:
+                # DMA Setup handshake, then the HBA streams data FISes while
+                # the DMA engine performs the PRDT walk / double copy
+                yield from self.dma.control_to_device(
+                    FIS_SIZES[FisType.DMA_SETUP])
+                yield from self.dma.to_device(pointers, track=req.req_id)
+                device_cmd = DeviceCommand(IOKind.WRITE, cmd.slba,
+                                           cmd.nsectors,
+                                           queue_id=0, data=req.data,
+                                           host_request=req)
+                yield self.ssd.submit(device_cmd)
+            else:
+                device_cmd = DeviceCommand(IOKind.READ, cmd.slba,
+                                           cmd.nsectors,
+                                           queue_id=0, host_request=req)
+                payload = yield self.ssd.submit(device_cmd)
+                yield from self.dma.control_to_host(
+                    FIS_SIZES[FisType.DMA_SETUP])
+                yield from self.dma.to_host(pointers, track=req.req_id)
 
-        req.t_backend_done = self.sim.now
+            req.t_backend_done = self.sim.now
         self.commands_served += 1
         yield from self.hba.command_done(cmd.ncq_tag, payload)

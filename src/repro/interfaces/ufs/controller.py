@@ -25,27 +25,29 @@ class UfsDeviceController:
         self.sim.process(self._execute(utrd, req))
 
     def _execute(self, utrd: Utrd, req: IORequest):
-        yield from self.ssd.cores.execute("hil", self._parse_mix)
-        pointers = PointerList([(e.address, e.nbytes) for e in utrd.prdt])
-        payload = None
-        req.t_device = self.sim.now
+        with self.sim.tracer.span("ufs.cmd", req.req_id, slot=utrd.slot):
+            yield from self.ssd.cores.execute("hil", self._parse_mix)
+            pointers = PointerList([(e.address, e.nbytes) for e in utrd.prdt])
+            payload = None
+            req.t_device = self.sim.now
 
-        if req.kind == IOKind.FLUSH:
-            yield self.ssd.submit(DeviceCommand(IOKind.FLUSH, 0, 0))
-        elif utrd.is_write:
-            # READY_TO_TRANSFER handshake, then DATA_OUT UPIUs stream in
-            yield from self.dma.control_to_host(
-                UPIU_SIZES[UpiuType.READY_TO_TRANSFER])
-            yield from self.dma.to_device(pointers)
-            yield self.ssd.submit(
-                DeviceCommand(IOKind.WRITE, utrd.slba, utrd.nsectors,
-                              queue_id=0, data=req.data, host_request=req))
-        else:
-            payload = yield self.ssd.submit(
-                DeviceCommand(IOKind.READ, utrd.slba, utrd.nsectors,
-                              queue_id=0, host_request=req))
-            yield from self.dma.to_host(pointers)
+            if req.kind == IOKind.FLUSH:
+                yield self.ssd.submit(DeviceCommand(IOKind.FLUSH, 0, 0))
+            elif utrd.is_write:
+                # READY_TO_TRANSFER handshake, then DATA_OUT UPIUs stream in
+                yield from self.dma.control_to_host(
+                    UPIU_SIZES[UpiuType.READY_TO_TRANSFER])
+                yield from self.dma.to_device(pointers, track=req.req_id)
+                yield self.ssd.submit(
+                    DeviceCommand(IOKind.WRITE, utrd.slba, utrd.nsectors,
+                                  queue_id=0, data=req.data,
+                                  host_request=req))
+            else:
+                payload = yield self.ssd.submit(
+                    DeviceCommand(IOKind.READ, utrd.slba, utrd.nsectors,
+                                  queue_id=0, host_request=req))
+                yield from self.dma.to_host(pointers, track=req.req_id)
 
-        req.t_backend_done = self.sim.now
+            req.t_backend_done = self.sim.now
         self.commands_served += 1
         yield from self.utp.command_done(utrd.slot, payload)

@@ -55,34 +55,36 @@ class UtpEngine(HostAdapter):
         return event
 
     def _submit_proc(self, req: IORequest, event):
-        if not self._free_slots:
-            waiter = self.sim.event()
-            self._slot_waiters.append(waiter)
-            yield waiter
-        slot = self._free_slots.popleft()
-        req.queue_id = 0
-        utrd = utrd_for(slot, req.kind.is_write, req.slba, req.nsectors,
-                        buffer_address(req))
-        if req.kind == IOKind.FLUSH:
-            utrd.prdt = []
+        with self.sim.tracer.span("ufs.utp.submit", req.req_id):
+            if not self._free_slots:
+                waiter = self.sim.event()
+                self._slot_waiters.append(waiter)
+                yield waiter
+            slot = self._free_slots.popleft()
+            req.queue_id = 0
+            utrd = utrd_for(slot, req.kind.is_write, req.slba, req.nsectors,
+                            buffer_address(req))
+            if req.kind == IOKind.FLUSH:
+                utrd.prdt = []
 
-        # driver fills the UTRD + command UPIU through UFSHCI registers
-        table_bytes = (_UTRD_BYTES + UPIU_SIZES[UpiuType.COMMAND]
-                       + len(utrd.prdt) * _PRDT_ENTRY_BYTES)
-        yield from self.memory.access(table_bytes, write=True)
-        yield from self.memory.access(table_bytes)
-        yield self.sim.timeout(_UTP_PROCESS_NS + _DOMAIN_FIFO_NS)
-        # command UPIU over M-PHY
-        yield from self.link.send(UPIU_SIZES[UpiuType.COMMAND])
-        self._outstanding[slot] = (utrd, req, event)
-        self.commands_issued += 1
+            # driver fills the UTRD + command UPIU through UFSHCI registers
+            table_bytes = (_UTRD_BYTES + UPIU_SIZES[UpiuType.COMMAND]
+                           + len(utrd.prdt) * _PRDT_ENTRY_BYTES)
+            yield from self.memory.access(table_bytes, write=True)
+            yield from self.memory.access(table_bytes)
+            yield self.sim.timeout(_UTP_PROCESS_NS + _DOMAIN_FIFO_NS)
+            # command UPIU over M-PHY
+            yield from self.link.send(UPIU_SIZES[UpiuType.COMMAND])
+            self._outstanding[slot] = (utrd, req, event)
+            self.commands_issued += 1
         self.controller.command_arrived(utrd, req)
 
     def command_done(self, slot: int, payload: Optional[bytes]):
         """Process generator: response UPIU -> interrupt -> slot recycle."""
         utrd, req, event = self._outstanding.pop(slot)
-        yield from self.link.receive(UPIU_SIZES[UpiuType.RESPONSE])
-        yield self.sim.timeout(_UTP_PROCESS_NS + _DOMAIN_FIFO_NS)
+        with self.sim.tracer.span("ufs.utp.complete", req.req_id):
+            yield from self.link.receive(UPIU_SIZES[UpiuType.RESPONSE])
+            yield self.sim.timeout(_UTP_PROCESS_NS + _DOMAIN_FIFO_NS)
         self.interrupts_raised += 1
         if req.t_backend_done < 0:
             req.t_backend_done = self.sim.now

@@ -1,0 +1,63 @@
+"""``repro.obs`` — end-to-end observability for the simulated stack.
+
+Two substrates, documented in detail in ``docs/OBSERVABILITY.md``:
+
+* **Tracing** (:mod:`repro.obs.tracer`): nested spans in *simulated*
+  time, keyed by I/O request id, opened and closed at every layer of
+  the stack (``io.submit`` -> ``os.blocklayer`` -> ``nvme.sq`` /
+  ``ahci`` / ``ufs.utp`` / ``ocssd.pblk`` -> ``hil`` -> ``icl`` ->
+  ``ftl`` -> ``flash``), exportable as a Chrome ``trace_event`` JSON.
+* **Metrics** (:mod:`repro.obs.metrics`): one hierarchical namespace
+  (``ssd.channel0.util``) unifying the previously ad-hoc counters,
+  ``TimeAverage`` and ``UtilizationTracker`` instruments, exportable
+  as CSV.
+
+Tracing is off by default and zero-cost when off: simulators carry the
+shared :data:`NULL_TRACER` until :func:`repro.obs.runtime.enable_tracing`
+is called (e.g. by ``python -m repro.experiments <fig> --trace out.json``).
+"""
+
+from repro.obs.export import (
+    chrome_trace,
+    format_breakdown,
+    latency_breakdown,
+    write_chrome_trace,
+    write_metrics_csv,
+)
+from repro.obs.metrics import Counter, Gauge, MetricsRegistry, ScopedRegistry
+from repro.obs.runtime import (
+    collect_metrics,
+    disable_tracing,
+    enable_tracing,
+    label_latest_tracer,
+    metric_snapshots,
+    tracer_for,
+    tracers,
+    tracing_enabled,
+)
+from repro.obs.tracer import NULL_TRACER, NullTracer, Span, Tracer, merge_spans
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "MetricsRegistry",
+    "ScopedRegistry",
+    "NullTracer",
+    "NULL_TRACER",
+    "Span",
+    "Tracer",
+    "merge_spans",
+    "chrome_trace",
+    "write_chrome_trace",
+    "write_metrics_csv",
+    "latency_breakdown",
+    "format_breakdown",
+    "collect_metrics",
+    "disable_tracing",
+    "enable_tracing",
+    "label_latest_tracer",
+    "metric_snapshots",
+    "tracer_for",
+    "tracers",
+    "tracing_enabled",
+]

@@ -1,0 +1,189 @@
+"""A unified, hierarchically-named metric namespace.
+
+Before this module every component kept ad-hoc instruments — a
+``TimeAverage`` here, a ``UtilizationTracker`` there, loose integer
+counters everywhere — each reachable only by knowing the private
+attribute that held it.  The :class:`MetricsRegistry` puts them all
+behind one namespace of dot-separated names with hierarchical prefixes
+(``ssd.channel0.util``, ``host.cpu.core1.kernel.util``,
+``os.block.merged``), so exporters and tests can enumerate everything a
+system measures without touching component internals.
+
+The registry does not replace the instruments: components keep their
+existing objects and *register* them (or a zero-argument callable) under
+a name.  Reading a metric is lazy — values are pulled at
+:meth:`MetricsRegistry.snapshot` time, so registration costs one dict
+insert and steady-state simulation pays nothing.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Union
+
+
+class Counter:
+    """A named monotonic counter."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def add(self, delta: float = 1.0) -> None:
+        """Increment by ``delta`` (must be non-negative)."""
+        if delta < 0:
+            raise ValueError("counters only go up; use a Gauge")
+        self.value += delta
+
+
+class Gauge:
+    """A named point-in-time value that can move both ways."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        """Replace the gauge's value."""
+        self.value = value
+
+    def add(self, delta: float) -> None:
+        """Adjust the gauge's value by ``delta``."""
+        self.value += delta
+
+
+#: Anything the registry can read a float from at snapshot time.
+MetricSource = Union[Counter, Gauge, Callable[[], float], object]
+
+
+def _read(source: MetricSource) -> float:
+    """Resolve a registered source to a float, by duck type."""
+    if isinstance(source, (Counter, Gauge)):
+        return float(source.value)
+    if callable(source):
+        return float(source())
+    if hasattr(source, "utilization"):
+        return float(source.utilization())
+    if hasattr(source, "mean"):
+        return float(source.mean())
+    if hasattr(source, "value"):
+        return float(source.value)
+    raise TypeError(f"cannot read a metric from {type(source).__name__}")
+
+
+class MetricsRegistry:
+    """Name -> instrument registry with hierarchical dot-prefixes."""
+
+    def __init__(self) -> None:
+        self._sources: Dict[str, MetricSource] = {}
+
+    # -- registration -----------------------------------------------------
+
+    def register(self, name: str, source: MetricSource) -> None:
+        """Adopt an existing instrument (or callable) under ``name``.
+
+        Valid sources: :class:`Counter`, :class:`Gauge`, a zero-argument
+        callable returning a number, or any object exposing one of
+        ``utilization()`` / ``mean()`` / ``.value`` (which covers
+        ``UtilizationTracker``, ``TimeAverage`` and ``Resource``).
+        """
+        if name in self._sources:
+            raise ValueError(f"metric {name!r} already registered")
+        _ = _read(source) if not callable(source) else None  # validate early
+        self._sources[name] = source
+
+    def counter(self, name: str) -> Counter:
+        """Create (or return the existing) counter named ``name``."""
+        existing = self._sources.get(name)
+        if existing is not None:
+            if not isinstance(existing, Counter):
+                raise ValueError(f"metric {name!r} is not a counter")
+            return existing
+        counter = Counter(name)
+        self._sources[name] = counter
+        return counter
+
+    def gauge(self, name: str) -> Gauge:
+        """Create (or return the existing) gauge named ``name``."""
+        existing = self._sources.get(name)
+        if existing is not None:
+            if not isinstance(existing, Gauge):
+                raise ValueError(f"metric {name!r} is not a gauge")
+            return existing
+        gauge = Gauge(name)
+        self._sources[name] = gauge
+        return gauge
+
+    def scoped(self, prefix: str) -> "ScopedRegistry":
+        """A view that prepends ``prefix + '.'`` to every name."""
+        return ScopedRegistry(self, prefix)
+
+    # -- reading ----------------------------------------------------------
+
+    def names(self, prefix: str = "") -> List[str]:
+        """Sorted metric names, optionally filtered by a dot-prefix."""
+        if not prefix:
+            return sorted(self._sources)
+        dotted = prefix if prefix.endswith(".") else prefix + "."
+        return sorted(name for name in self._sources
+                      if name == prefix[:-1] or name.startswith(dotted)
+                      or name.startswith(prefix))
+
+    def read(self, name: str) -> float:
+        """Current value of one metric."""
+        return _read(self._sources[name])
+
+    def snapshot(self, prefix: str = "") -> Dict[str, float]:
+        """Read every metric (under ``prefix``) into a plain dict."""
+        return {name: _read(self._sources[name])
+                for name in self.names(prefix)}
+
+    def to_csv(self, prefix: str = "") -> str:
+        """Render a snapshot as ``metric,value`` CSV text."""
+        lines = ["metric,value"]
+        for name, value in self.snapshot(prefix).items():
+            lines.append(f"{name},{value:.10g}")
+        return "\n".join(lines) + "\n"
+
+    def __len__(self) -> int:
+        return len(self._sources)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._sources
+
+
+class ScopedRegistry:
+    """A prefixing facade over a :class:`MetricsRegistry`.
+
+    Components take a scope so they can name metrics relative to
+    themselves (``core0.kernel.util``) while the system decides where
+    the subtree mounts (``host.cpu.``).
+    """
+
+    __slots__ = ("_base", "_prefix")
+
+    def __init__(self, base: MetricsRegistry, prefix: str) -> None:
+        self._base = base
+        self._prefix = prefix.rstrip(".")
+
+    def _qualify(self, name: str) -> str:
+        return f"{self._prefix}.{name}"
+
+    def register(self, name: str, source: MetricSource) -> None:
+        """Register under the scope's prefix."""
+        self._base.register(self._qualify(name), source)
+
+    def counter(self, name: str) -> Counter:
+        """Counter under the scope's prefix."""
+        return self._base.counter(self._qualify(name))
+
+    def gauge(self, name: str) -> Gauge:
+        """Gauge under the scope's prefix."""
+        return self._base.gauge(self._qualify(name))
+
+    def scoped(self, prefix: str) -> "ScopedRegistry":
+        """Nest a further prefix under this scope."""
+        return ScopedRegistry(self._base, self._qualify(prefix))

@@ -1,0 +1,82 @@
+"""Process-wide tracing switch and collection point.
+
+Experiments build a fresh :class:`~repro.sim.Simulator` per data point,
+so there is no single object a CLI flag could hand a tracer to.  This
+module is the rendezvous: :func:`enable_tracing` flips a process-wide
+switch, after which every newly-constructed ``Simulator`` asks
+:func:`tracer_for` and receives a live :class:`~repro.obs.tracer.Tracer`
+(registered here for later export) instead of the shared
+:data:`~repro.obs.tracer.NULL_TRACER`.  Metric snapshots taken at the
+end of each run land here too, labelled per system.
+
+With the switch off — the default, and the state every tier-1 test runs
+under — :func:`tracer_for` returns the null tracer and both collection
+functions are no-ops, so simulation behaviour and figure output are
+byte-identical to a build without this module.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.obs.tracer import NULL_TRACER, Tracer
+
+_active = False
+_tracers: List[Tracer] = []
+_metric_snapshots: List[Tuple[str, Dict[str, float]]] = []
+
+
+def tracing_enabled() -> bool:
+    """True while the process-wide tracing switch is on."""
+    return _active
+
+
+def enable_tracing() -> None:
+    """Turn tracing on and clear anything collected previously."""
+    global _active
+    _active = True
+    _tracers.clear()
+    _metric_snapshots.clear()
+
+
+def disable_tracing() -> None:
+    """Turn tracing off and drop collected tracers and snapshots."""
+    global _active
+    _active = False
+    _tracers.clear()
+    _metric_snapshots.clear()
+
+
+def tracer_for(clock) -> Tracer:
+    """Tracer for a new simulator: live and collected, or the null one."""
+    if not _active:
+        return NULL_TRACER
+    tracer = Tracer(clock)
+    _tracers.append(tracer)
+    return tracer
+
+
+def tracers() -> List[Tracer]:
+    """Every live tracer handed out since tracing was enabled."""
+    return list(_tracers)
+
+
+def label_latest_tracer(label: str) -> None:
+    """Attach a human-readable label to the most recent tracer.
+
+    Exporters show it as the Chrome-trace process name; harmless no-op
+    when tracing is off.
+    """
+    if _tracers:
+        _tracers[-1].label = label
+
+
+def collect_metrics(label: str, snapshot: Dict[str, float]) -> None:
+    """Record one system's end-of-run metric snapshot (no-op when off)."""
+    if _active:
+        _metric_snapshots.append((label, dict(snapshot)))
+
+
+def metric_snapshots() -> List[Tuple[str, Dict[str, float]]]:
+    """Labelled metric snapshots collected since tracing was enabled."""
+    return list(_metric_snapshots)

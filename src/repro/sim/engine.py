@@ -6,6 +6,7 @@ import heapq
 from itertools import count
 from typing import Any, Iterator, Optional
 
+from repro.obs.runtime import tracer_for
 from repro.sim.events import AllOf, AnyOf, Event, Timeout
 from repro.sim.process import Process
 
@@ -20,6 +21,11 @@ class Simulator:
     Events scheduled for the same instant are processed in the order they
     were enqueued (FIFO tie-break via a monotonically increasing sequence
     number), which keeps every run bit-for-bit reproducible.
+
+    Every simulator carries a ``tracer`` (see :mod:`repro.obs`): the
+    shared no-op ``NULL_TRACER`` by default, or a live span recorder when
+    process-wide tracing is enabled.  Spans record simulated time only
+    and never schedule events, so tracing cannot perturb results.
     """
 
     def __init__(self) -> None:
@@ -28,6 +34,7 @@ class Simulator:
         self._sequence: Iterator[int] = count()
         self._event_count: int = 0
         self._orphan_failures: list = []
+        self.tracer = tracer_for(self)
 
     def _record_orphan_failure(self, event) -> None:
         self._orphan_failures.append(event)
@@ -50,18 +57,23 @@ class Simulator:
     # -- factory helpers -------------------------------------------------
 
     def event(self) -> Event:
+        """A fresh pending :class:`Event` bound to this simulator."""
         return Event(self)
 
     def timeout(self, delay: int, value: Any = None) -> Timeout:
+        """An event firing ``delay`` ns from now with ``value``."""
         return Timeout(self, delay, value)
 
     def process(self, generator) -> Process:
+        """Register ``generator`` as a process starting at this instant."""
         return Process(self, generator)
 
     def all_of(self, events) -> AllOf:
+        """An event firing once every event in ``events`` has fired."""
         return AllOf(self, events)
 
     def any_of(self, events) -> AnyOf:
+        """An event firing as soon as any event in ``events`` fires."""
         return AnyOf(self, events)
 
     # -- scheduling ------------------------------------------------------
@@ -113,14 +125,22 @@ class Simulator:
         queued work — background daemons, periodic samplers — stays
         queued), returning the process return value.  Raises if the
         process fails, or if the queue drains / ``until`` passes first.
+
+        Clock contract: on success ``now`` is the instant the process
+        completed (pending events may remain queued).  On the failure
+        paths with a deadline — the next event lies beyond ``until``,
+        or the queue drains early — the clock is advanced to ``until``
+        before raising, matching :meth:`run`'s drain behaviour, so
+        ``now`` never sits behind a deadline that has already passed.
         """
         proc = self.process(generator)
         while not proc.processed and self._queue:
             if until is not None and self._queue[0][0] > until:
-                self._now = until
                 break
             self.step()
         if not proc.processed:
+            if until is not None and self._now < until:
+                self._now = until
             self.check_orphan_failures()
             raise RuntimeError("process did not complete"
                                + ("" if until is None else " before the deadline"))

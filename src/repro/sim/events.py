@@ -26,18 +26,22 @@ class Event:
 
     @property
     def triggered(self) -> bool:
+        """True once ``succeed``/``fail`` was called (event is queued)."""
         return self._triggered
 
     @property
     def processed(self) -> bool:
+        """True once the simulator popped the event and ran callbacks."""
         return self._processed
 
     @property
     def ok(self) -> bool:
+        """False if the event was triggered via :meth:`fail`."""
         return self._ok
 
     @property
     def value(self) -> Any:
+        """The success value (or exception); raises while still pending."""
         if not self._processed and not self._triggered:
             raise RuntimeError("event value not yet available")
         return self._value
@@ -65,6 +69,7 @@ class Event:
         return self
 
     def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        """Run ``callback(event)`` on processing (immediately if already done)."""
         if self._processed:
             # Late subscriber: run at the current instant, preserving order.
             immediate = Event(self.sim)

@@ -30,6 +30,7 @@ class Process(Event):
 
     @property
     def is_alive(self) -> bool:
+        """True while the generator has not finished or failed."""
         return not self._triggered
 
     def interrupt(self, cause: Any = None) -> None:

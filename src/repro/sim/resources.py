@@ -35,13 +35,16 @@ class Resource:
 
     @property
     def in_use(self) -> int:
+        """Number of units currently held."""
         return self._in_use
 
     @property
     def queued(self) -> int:
+        """Number of acquire requests waiting for a free unit."""
         return len(self._waiters)
 
     def acquire(self) -> Event:
+        """Request one unit; the returned event fires when granted."""
         event = Event(self.sim)
         if self._in_use < self.capacity:
             self._grant(event)
@@ -50,6 +53,7 @@ class Resource:
         return event
 
     def release(self) -> None:
+        """Return one unit, granting the oldest waiter if any."""
         if self._in_use <= 0:
             raise RuntimeError(f"release() on idle resource {self.name!r}")
         self._in_use -= 1
@@ -73,6 +77,7 @@ class Resource:
         return total
 
     def utilization(self, elapsed: Optional[int] = None) -> float:
+        """Busy fraction over ``elapsed`` ns (default: since t=0)."""
         elapsed = elapsed if elapsed is not None else self.sim.now
         return self.busy_time() / elapsed if elapsed > 0 else 0.0
 
@@ -95,9 +100,11 @@ class Store:
 
     @property
     def waiting_getters(self) -> int:
+        """Number of get requests blocked on an empty store."""
         return len(self._getters)
 
     def put(self, item: Any) -> Event:
+        """Append ``item``; the event fires once the store accepts it."""
         event = Event(self.sim)
         if self._getters:
             # Hand the item straight to the oldest waiting getter.
@@ -121,6 +128,7 @@ class Store:
         return False
 
     def get(self) -> Event:
+        """Take the oldest item; the event fires with it as value."""
         event = Event(self.sim)
         if self._items:
             event.succeed(self._items.popleft())
@@ -164,6 +172,7 @@ class PriorityStore(Store):
         return len(self._heap)
 
     def put(self, item: Any, priority: Any = 0) -> Event:
+        """Insert ``item`` with ``priority`` (lower retrieves first)."""
         event = Event(self.sim)
         if self._getters and not self._heap:
             self._getters.popleft().succeed(item)
@@ -180,6 +189,7 @@ class PriorityStore(Store):
         return event
 
     def get(self) -> Event:
+        """Take the lowest-priority-key item; ties resolve FIFO."""
         event = Event(self.sim)
         if self._heap:
             _prio, _seq, item = heapq.heappop(self._heap)
@@ -189,10 +199,12 @@ class PriorityStore(Store):
         return event
 
     def try_get(self) -> Tuple[bool, Any]:
+        """Non-blocking get; returns ``(ok, item)``."""
         if self._heap:
             _prio, _seq, item = heapq.heappop(self._heap)
             return True, item
         return False, None
 
     def peek_items(self) -> List[Any]:
+        """Snapshot of queued items in retrieval order."""
         return [item for _prio, _seq, item in sorted(self._heap)]

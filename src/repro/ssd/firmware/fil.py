@@ -3,6 +3,10 @@
 The FIL charges per-transaction firmware cost on its core, groups
 same-die programs into multi-plane operations when page offsets align,
 and spreads job issue according to the configured parallelism order.
+
+Every transaction opens a ``flash.*`` span on the originating request's
+trace track (``track=0`` marks background work such as GC migration),
+so a trace shows exactly which flash operations a host I/O paid for.
 """
 
 from __future__ import annotations
@@ -31,28 +35,36 @@ class FlashInterfaceLayer:
         self.transactions += 1
         return self.cores.execute("fil", self._issue_mix)
 
-    def read(self, ppn: int, nbytes: int = 0):
+    def read(self, ppn: int, nbytes: int = 0, track: int = 0):
         """Process generator: one timed page read."""
-        yield from self._charge()
-        yield from self.backend.read_page(ppn, nbytes)
+        with self.sim.tracer.span("flash.read", track, ppn=ppn):
+            yield from self._charge()
+            yield from self.backend.read_page(ppn, nbytes)
 
-    def program(self, ppn: int):
-        yield from self._charge()
-        yield from self.backend.program_page(ppn)
+    def program(self, ppn: int, track: int = 0):
+        """Process generator: one timed page program."""
+        with self.sim.tracer.span("flash.program", track, ppn=ppn):
+            yield from self._charge()
+            yield from self.backend.program_page(ppn)
 
-    def erase(self, unit: int, block: int):
-        yield from self._charge()
-        ok = yield from self.backend.erase_block(unit, block)
+    def erase(self, unit: int, block: int, track: int = 0):
+        """Process generator: one timed block erase; returns success."""
+        with self.sim.tracer.span("flash.erase", track, unit=unit,
+                                  block=block):
+            yield from self._charge()
+            ok = yield from self.backend.erase_block(unit, block)
         return ok
 
-    def read_group(self, ppns: Sequence[int], nbytes_each: int = 0):
+    def read_group(self, ppns: Sequence[int], nbytes_each: int = 0,
+                   track: int = 0):
         """Read several pages concurrently (they stripe across dies)."""
         if not ppns:
             return
-        events = [self.sim.process(self.read(ppn, nbytes_each)) for ppn in ppns]
+        events = [self.sim.process(self.read(ppn, nbytes_each, track=track))
+                  for ppn in ppns]
         yield AllOf(self.sim, events)
 
-    def program_group(self, ppns: Sequence[int]):
+    def program_group(self, ppns: Sequence[int], track: int = 0):
         """Program several pages concurrently with multi-plane merging.
 
         PPNs on the same die with identical page offsets fuse into one
@@ -70,11 +82,15 @@ class FlashInterfaceLayer:
             units = {mapper.unit_of_ppn(p) for p in die_ppns}
             if len(die_ppns) > 1 and len(units) == len(die_ppns):
                 # one page per plane: a single multi-plane program pulse
-                events.append(self.sim.process(self._multiplane(die_ppns)))
+                events.append(self.sim.process(
+                    self._multiplane(die_ppns, track)))
             else:
-                events.extend(self.sim.process(self.program(p)) for p in die_ppns)
+                events.extend(self.sim.process(self.program(p, track=track))
+                              for p in die_ppns)
         yield AllOf(self.sim, events)
 
-    def _multiplane(self, ppns: List[int]):
-        yield from self._charge()
-        yield from self.backend.program_multiplane(ppns)
+    def _multiplane(self, ppns: List[int], track: int = 0):
+        with self.sim.tracer.span("flash.program", track,
+                                  planes=len(ppns)):
+            yield from self._charge()
+            yield from self.backend.program_multiplane(ppns)

@@ -75,48 +75,55 @@ class FlashTranslationLayer:
 
     # -- translation (reads) -------------------------------------------------
 
-    def translate(self, line_id: int, slots: Sequence[int]):
+    def translate(self, line_id: int, slots: Sequence[int], track: int = 0):
         """Process: translate line slots to PPNs.
 
         Returns ``{slot: ppn}`` with UNMAPPED for never-written pages.
         Charges FTL core time plus one mapping-table DRAM reference per
         page (plus a hashmap probe when the partial-update optimisation
-        is active).
+        is active).  ``track`` attributes the ``ftl.translate`` span to
+        the originating host request.
         """
         result: Dict[int, int] = {}
         probe_hashmap = (isinstance(self.mapping, PageMapping)
                          and self.config.ftl.partial_update_hashmap)
-        for slot in slots:
-            lpn = self.line_lpn(line_id, slot)
-            yield from self.cores.execute("ftl", self._translate_mix)
-            yield from self.dram.access(self._map_address(lpn), _MAP_ENTRY_BYTES)
-            if probe_hashmap and self.mapping.is_partial(lpn):
-                yield from self.dram.access(
-                    self._map_address(lpn) + 4096, _MAP_ENTRY_BYTES)
-            result[slot] = self.mapping.lookup(lpn)
+        with self.sim.tracer.span("ftl.translate", track, line=line_id):
+            for slot in slots:
+                lpn = self.line_lpn(line_id, slot)
+                yield from self.cores.execute("ftl", self._translate_mix)
+                yield from self.dram.access(self._map_address(lpn),
+                                            _MAP_ENTRY_BYTES)
+                if probe_hashmap and self.mapping.is_partial(lpn):
+                    yield from self.dram.access(
+                        self._map_address(lpn) + 4096, _MAP_ENTRY_BYTES)
+                result[slot] = self.mapping.lookup(lpn)
         return result
 
     # -- write path ------------------------------------------------------------
 
     def service_line_write(self, line_id: int, slot_data: Dict[int, Optional[bytes]],
-                           partial: bool = False):
+                           partial: bool = False, track: int = 0):
         """Process: persist the given slots of a line to flash.
 
         ``slot_data`` maps slot index to full-page payload (or None when
         timing-only).  ``partial`` marks a sub-superpage flush surviving
         thanks to the hashmap optimisation; it charges the extra hashmap
-        maintenance cost.
+        maintenance cost.  ``track`` attributes the ``ftl.write`` span
+        (and the flash programs beneath it) to a host request; cache
+        flushes leave it 0, the background lane.
         """
-        if isinstance(self.mapping, PageMapping):
-            yield from self._write_page_mapped(line_id, slot_data, partial)
-        elif isinstance(self.mapping, BlockMapping):
-            yield from self._write_block_mapped(line_id, slot_data)
-        else:
-            yield from self._write_hybrid(line_id, slot_data)
+        with self.sim.tracer.span("ftl.write", track, line=line_id):
+            if isinstance(self.mapping, PageMapping):
+                yield from self._write_page_mapped(line_id, slot_data, partial,
+                                                   track)
+            elif isinstance(self.mapping, BlockMapping):
+                yield from self._write_block_mapped(line_id, slot_data, track)
+            else:
+                yield from self._write_hybrid(line_id, slot_data, track)
 
     def _write_page_mapped(self, line_id: int,
                            slot_data: Dict[int, Optional[bytes]],
-                           partial: bool):
+                           partial: bool, track: int = 0):
         units = self.allocator.line_units(line_id)
         # Group slots by die and allocate each die's planes atomically
         # (both unit locks held): sibling planes stay in page-offset
@@ -161,21 +168,23 @@ class FlashTranslationLayer:
                 self.content.write(ppn, slot_data[slot])
                 new_ppns.append(ppn)
                 self.host_pages_written += 1
-        yield from self.fil.program_group(new_ppns)
+        yield from self.fil.program_group(new_ppns, track=track)
 
     # -- reads (data) ------------------------------------------------------------
 
-    def service_line_reads(self, line_id: int, slots: Sequence[int]):
+    def service_line_reads(self, line_id: int, slots: Sequence[int],
+                           track: int = 0):
         """Process: read the given slots from flash.
 
         Returns ``{slot: bytes|None}``; unmapped slots read as None
         (zero-fill semantics are applied by the ICL).
         """
-        ppns = yield from self.translate(line_id, slots)
+        ppns = yield from self.translate(line_id, slots, track=track)
         mapped = [(slot, ppn) for slot, ppn in ppns.items() if ppn != UNMAPPED]
         payload = (0 if self.config.fil.transfer_whole_page
                    else self.config.geometry.page_size)
-        yield from self.fil.read_group([ppn for _slot, ppn in mapped], payload)
+        yield from self.fil.read_group([ppn for _slot, ppn in mapped], payload,
+                                       track=track)
         result: Dict[int, Optional[bytes]] = {slot: None for slot in slots}
         for slot, ppn in mapped:
             result[slot] = self.content.read(ppn)
@@ -183,12 +192,13 @@ class FlashTranslationLayer:
 
     # -- trim / deallocate -----------------------------------------------------
 
-    def trim(self, line_id: int, slots: Sequence[int]):
+    def trim(self, line_id: int, slots: Sequence[int], track: int = 0):
         """Process: deallocate logical pages (TRIM / NVMe DSM).
 
         Invalidates the backing physical pages so GC can reclaim them
         without migration; subsequent reads return unmapped (zeroes).
         """
+        del track  # TRIM charges no flash work worth a span of its own
         if not isinstance(self.mapping, PageMapping):
             raise NotImplementedError("trim requires page mapping")
         for slot in slots:
@@ -225,7 +235,11 @@ class FlashTranslationLayer:
                 victim = swap
                 self.wl_swaps += 1
             self.gc_runs += 1
-            yield from self._migrate_and_erase(unit, victim)
+            # GC always traces on the background lane (track 0): the host
+            # write that tripped it stalls on the unit lock, visible as a
+            # gap in its own spans overlapping this one
+            with self.sim.tracer.span("ftl.gc", 0, unit=unit, block=victim):
+                yield from self._migrate_and_erase(unit, victim)
             return True
         finally:
             self._unit_locks[unit].release()
@@ -269,7 +283,8 @@ class FlashTranslationLayer:
         return lbn % self.config.geometry.parallel_units
 
     def _write_block_mapped(self, line_id: int,
-                            slot_data: Dict[int, Optional[bytes]]):
+                            slot_data: Dict[int, Optional[bytes]],
+                            track: int = 0):
         """Block-level mapping: every overwrite migrates the whole block."""
         mapping: BlockMapping = self.mapping
         ppb = mapping.pages_per_block
@@ -314,10 +329,11 @@ class FlashTranslationLayer:
             mapping.bind_block(lbn, new_ppns[0])
             self.host_pages_written += len(updates)
             self.gc_pages_migrated += len(old_data)
-            yield from self.fil.program_group(new_ppns)
+            yield from self.fil.program_group(new_ppns, track=track)
 
     def _write_hybrid(self, line_id: int,
-                      slot_data: Dict[int, Optional[bytes]]):
+                      slot_data: Dict[int, Optional[bytes]],
+                      track: int = 0):
         """Hybrid mapping: updates land in page-mapped log space."""
         mapping: HybridMapping = self.mapping
         for slot in sorted(slot_data):
@@ -337,7 +353,7 @@ class FlashTranslationLayer:
                 self.array.invalidate_ppn(old)
             self.content.write(ppn, slot_data[slot])
             self.host_pages_written += 1
-            yield from self.fil.program(ppn)
+            yield from self.fil.program(ppn, track=track)
 
     def _merge_log(self):
         """Full merge: rewrite every logged page into fresh log space.

@@ -107,18 +107,21 @@ class HostInterfaceLayer:
 
     def _serve(self, cmd: DeviceCommand):
         try:
-            if cmd.kind == IOKind.FLUSH:
-                yield from self.icl.flush_all()
-                result = None
-            elif cmd.kind == IOKind.TRIM:
-                lines = split_command(cmd, self.config.geometry.page_size,
-                                      self.config.superpage_pages)
-                for line_req in lines:
-                    yield from self.icl.trim(line_req)
-                result = None
-            else:
-                result = yield from self._serve_rw(cmd)
-            yield from self.cores.execute("hil", self._complete_mix)
+            with self.sim.tracer.span("hil.serve", cmd.track,
+                                      op=cmd.kind.name,
+                                      sectors=cmd.nsectors):
+                if cmd.kind == IOKind.FLUSH:
+                    yield from self.icl.flush_all()
+                    result = None
+                elif cmd.kind == IOKind.TRIM:
+                    lines = split_command(cmd, self.config.geometry.page_size,
+                                          self.config.superpage_pages)
+                    for line_req in lines:
+                        yield from self.icl.trim(line_req)
+                    result = None
+                else:
+                    result = yield from self._serve_rw(cmd)
+                yield from self.cores.execute("hil", self._complete_mix)
             self.commands_completed += 1
             cmd.done_event.succeed(result)
         finally:

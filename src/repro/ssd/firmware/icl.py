@@ -184,68 +184,70 @@ class InternalCacheLayer:
 
     def write(self, req: LineRequest):
         """Process: absorb a line write into the cache (write-back)."""
-        if not self.enabled:
-            yield from self._write_through(req)
-            return
-        yield self._locks.acquire(req.line_id)
-        try:
-            yield from self.cores.execute("icl", self._lookup_mix)
-            line = yield from self._ensure_line(req.line_id)
-            for slot, (sec_off, sec_n) in req.page_sectors.items():
-                state = line.slots.setdefault(slot, _SlotState())
-                mask = self._sector_mask(sec_off, sec_n)
-                state.sector_mask |= mask
-                state.dirty = True
-                state.version += 1
-                if state.sector_mask == self._full_mask:
-                    state.full = True
-                if self.data_emulation:
-                    if state.buf is None:
-                        state.buf = bytearray(self.page_size)
-                    payload = req.data_slices.get(slot, b"")
-                    start = sec_off * _SECTOR
-                    state.buf[start:start + len(payload)] = payload
-                yield from self.dram.access(
-                    self._line_address(req.line_id, slot),
-                    sec_n * _SECTOR, write=True)
-            self._touch(line)
-            self.writes_absorbed += 1
-        finally:
-            self._locks.release(req.line_id)
+        with self.sim.tracer.span("icl.write", req.track, line=req.line_id):
+            if not self.enabled:
+                yield from self._write_through(req)
+                return
+            yield self._locks.acquire(req.line_id)
+            try:
+                yield from self.cores.execute("icl", self._lookup_mix)
+                line = yield from self._ensure_line(req.line_id)
+                for slot, (sec_off, sec_n) in req.page_sectors.items():
+                    state = line.slots.setdefault(slot, _SlotState())
+                    mask = self._sector_mask(sec_off, sec_n)
+                    state.sector_mask |= mask
+                    state.dirty = True
+                    state.version += 1
+                    if state.sector_mask == self._full_mask:
+                        state.full = True
+                    if self.data_emulation:
+                        if state.buf is None:
+                            state.buf = bytearray(self.page_size)
+                        payload = req.data_slices.get(slot, b"")
+                        start = sec_off * _SECTOR
+                        state.buf[start:start + len(payload)] = payload
+                    yield from self.dram.access(
+                        self._line_address(req.line_id, slot),
+                        sec_n * _SECTOR, write=True)
+                self._touch(line)
+                self.writes_absorbed += 1
+            finally:
+                self._locks.release(req.line_id)
         yield from self._maybe_flush()
 
     def read(self, req: LineRequest):
         """Process: serve a line read; returns {slot: bytes|None}."""
-        if not self.enabled:
-            result = yield from self._read_through(req)
-            return result
-        yield self._locks.acquire(req.line_id)
-        try:
-            yield from self.cores.execute("icl", self._lookup_mix)
-            line = self._lines.get(req.line_id)
-            missing = self._missing_slots(line, req)
-            if not missing:
-                self.read_hits += 1
-            else:
-                self.read_misses += 1
-                line = yield from self._ensure_line(req.line_id)
-                fetched = yield from self.ftl.service_line_reads(
-                    req.line_id, missing)
-                yield from self.cores.execute("icl", self._fill_mix)
-                for slot in missing:
-                    state = line.slots.setdefault(slot, _SlotState())
-                    self._merge_fetch(state, fetched.get(slot))
+        with self.sim.tracer.span("icl.read", req.track, line=req.line_id):
+            if not self.enabled:
+                result = yield from self._read_through(req)
+                return result
+            yield self._locks.acquire(req.line_id)
+            try:
+                yield from self.cores.execute("icl", self._lookup_mix)
+                line = self._lines.get(req.line_id)
+                missing = self._missing_slots(line, req)
+                if not missing:
+                    self.read_hits += 1
+                else:
+                    self.read_misses += 1
+                    line = yield from self._ensure_line(req.line_id)
+                    fetched = yield from self.ftl.service_line_reads(
+                        req.line_id, missing, track=req.track)
+                    yield from self.cores.execute("icl", self._fill_mix)
+                    for slot in missing:
+                        state = line.slots.setdefault(slot, _SlotState())
+                        self._merge_fetch(state, fetched.get(slot))
+                        yield from self.dram.access(
+                            self._line_address(req.line_id, slot),
+                            self.page_size, write=True)
+                result = {}
+                for slot, (sec_off, sec_n) in req.page_sectors.items():
                     yield from self.dram.access(
-                        self._line_address(req.line_id, slot),
-                        self.page_size, write=True)
-            result = {}
-            for slot, (sec_off, sec_n) in req.page_sectors.items():
-                yield from self.dram.access(
-                    self._line_address(req.line_id, slot), sec_n * _SECTOR)
-                result[slot] = self._extract(line, slot, sec_off, sec_n)
-            self._touch(line)
-        finally:
-            self._locks.release(req.line_id)
+                        self._line_address(req.line_id, slot), sec_n * _SECTOR)
+                    result[slot] = self._extract(line, slot, sec_off, sec_n)
+                self._touch(line)
+            finally:
+                self._locks.release(req.line_id)
         self._update_readahead(req.line_id)
         return result
 
@@ -271,7 +273,8 @@ class InternalCacheLayer:
                     line.slots.pop(slot, None)
                 if not line.slots:
                     self._lines.pop(req.line_id, None)
-            yield from self.ftl.trim(req.line_id, list(req.page_sectors))
+            yield from self.ftl.trim(req.line_id, list(req.page_sectors),
+                                     track=req.track)
         finally:
             self._locks.release(req.line_id)
 
@@ -529,7 +532,8 @@ class InternalCacheLayer:
         old = {}
         if rmw_slots:
             self.rmw_fetches += len(rmw_slots)
-            old = yield from self.ftl.service_line_reads(req.line_id, rmw_slots)
+            old = yield from self.ftl.service_line_reads(
+                req.line_id, rmw_slots, track=req.track)
         for slot, (sec_off, sec_n) in req.page_sectors.items():
             if self.data_emulation:
                 base = bytearray(old.get(slot) or bytes(self.page_size))
@@ -543,11 +547,13 @@ class InternalCacheLayer:
                    and self.config.ftl.partial_update_hashmap
                    and len(slot_data) < self.slots_per_line)
         yield from self.ftl.service_line_write(req.line_id, slot_data,
-                                               partial=partial)
+                                               partial=partial,
+                                               track=req.track)
 
     def _read_through(self, req: LineRequest):
         slots = list(req.page_sectors)
-        fetched = yield from self.ftl.service_line_reads(req.line_id, slots)
+        fetched = yield from self.ftl.service_line_reads(req.line_id, slots,
+                                                         track=req.track)
         self.read_misses += 1
         result = {}
         for slot, (sec_off, sec_n) in req.page_sectors.items():

@@ -35,6 +35,15 @@ class DeviceCommand:
     def nbytes(self) -> int:
         return self.nsectors * 512
 
+    @property
+    def track(self) -> int:
+        """Trace track for this command: the host request id, or 0.
+
+        Track 0 is the shared background lane (GC, cache flushes and
+        device-initiated commands with no host request attached).
+        """
+        return self.host_request.req_id if self.host_request is not None else 0
+
 
 @dataclass
 class LineRequest:
@@ -54,6 +63,11 @@ class LineRequest:
     @property
     def slots(self) -> List[int]:
         return sorted(self.page_sectors)
+
+    @property
+    def track(self) -> int:
+        """Trace track inherited from the parent command (0 = background)."""
+        return self.parent.track if self.parent is not None else 0
 
 
 def split_command(cmd: DeviceCommand, page_size: int,

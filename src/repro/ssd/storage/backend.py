@@ -78,6 +78,22 @@ class FlashBackend:
     def channel_utilizations(self) -> List[float]:
         return [ch.utilization() for ch in self._channels]
 
+    def register_metrics(self, registry, prefix: str = "ssd") -> None:
+        """Expose per-channel/die utilization and flash op counters.
+
+        Names follow the hierarchical convention of
+        ``docs/OBSERVABILITY.md``, e.g. ``ssd.channel0.util``.
+        """
+        scope = registry.scoped(prefix)
+        for i, channel in enumerate(self._channels):
+            scope.register(f"channel{i}.util", channel.utilization)
+        for i, die in enumerate(self._dies):
+            scope.register(f"die{i}.util", die.utilization)
+        scope.register("flash.reads", lambda: float(self.reads_issued))
+        scope.register("flash.programs", lambda: float(self.programs_issued))
+        scope.register("flash.erases", lambda: float(self.erases_issued))
+        scope.register("flash.read_retries", lambda: float(self.read_retries))
+
     # -- timing helpers ----------------------------------------------------
 
     def _xfer_ns(self, nbytes: int) -> int:

@@ -44,11 +44,32 @@ class TestTimeAverage:
         assert avg.value == 0.0
 
     def test_timeline_records_every_change(self, sim):
-        avg = TimeAverage(sim)
+        avg = TimeAverage(sim, keep_timeline=True)
         sim.schedule(10, avg.set, 1.0)
         sim.schedule(20, avg.set, 2.0)
         sim.run()
         assert avg.timeline() == [(0, 0.0), (10, 1.0), (20, 2.0)]
+
+    def test_timeline_off_by_default_but_mean_exact(self, sim):
+        avg = TimeAverage(sim)
+        sim.schedule(100, avg.set, 10.0)
+        sim.schedule(300, lambda: None)
+        sim.run()
+        assert avg.timeline() == []
+        assert avg.mean() == pytest.approx(10.0 * 200 / 300)
+
+    def test_timeline_capped_by_coarsening(self, sim):
+        avg = TimeAverage(sim, keep_timeline=True, max_points=64)
+        for t in range(1, 501):
+            sim.schedule(t, avg.set, float(t))
+        sim.run()
+        points = avg.timeline()
+        assert len(points) <= 64
+        # first and last samples survive every halving pass
+        assert points[0] == (0, 0.0)
+        assert points[-1] == (500, 500.0)
+        assert avg.mean() == pytest.approx(
+            sum(t for t in range(1, 500)) / 500)
 
 
 class TestUtilizationTracker:
