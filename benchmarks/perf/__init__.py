@@ -1,0 +1,9 @@
+"""Pinned performance harness (see docs/PERFORMANCE.md).
+
+Two entry points over the scenarios in :mod:`repro.bench.scenarios`:
+
+* ``python -m benchmarks.perf`` — record a ``BENCH_<date>.json``
+  trajectory point (optionally comparing against a prior file);
+* ``pytest benchmarks/perf --benchmark-only`` — the pytest-benchmark
+  view of the same scenarios at smoke sizes (used by the CI smoke job).
+"""

@@ -1,0 +1,57 @@
+"""Record a benchmark trajectory point: ``python -m benchmarks.perf``.
+
+Examples::
+
+    # full-size record, compared against the last committed point
+    python -m benchmarks.perf --compare BENCH_2026-08-06.json
+
+    # quick smoke record (CI artifact)
+    python -m benchmarks.perf --profile smoke --repeats 1 --out bench.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import sys
+from pathlib import Path
+
+from repro.bench.record import load_bench, run_all, write_bench
+from repro.bench.scenarios import PROFILES, SCENARIOS
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m benchmarks.perf",
+        description="run the pinned perf scenarios and emit BENCH_<date>.json")
+    parser.add_argument("--profile", choices=PROFILES, default="full",
+                        help="scenario sizes (full = recorded trajectory, "
+                             "smoke = CI-sized)")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="runs per scenario; best wall clock is kept")
+    parser.add_argument("--scenario", action="append", choices=SCENARIOS,
+                        help="run only this scenario (repeatable)")
+    parser.add_argument("--compare", type=Path, default=None,
+                        help="previous BENCH_*.json to embed as baseline")
+    parser.add_argument("--out", type=Path, default=None,
+                        help="output path (default BENCH_<today>.json)")
+    parser.add_argument("--notes", default="",
+                        help="free-form note stored with the record")
+    args = parser.parse_args(argv)
+
+    date = datetime.date.today().isoformat()
+    out = args.out or Path(f"BENCH_{date}.json")
+    print(f"recording profile={args.profile} repeats={args.repeats} -> {out}",
+          file=sys.stderr)
+    scenarios = run_all(profile=args.profile, repeats=args.repeats,
+                        names=args.scenario, verbose=True)
+    baseline = load_bench(args.compare) if args.compare else None
+    doc = write_bench(out, scenarios, args.profile, date,
+                      baseline=baseline, notes=args.notes)
+    for name, speedup in doc.get("speedup", {}).items():
+        print(f"  speedup {name:16s} x{speedup}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

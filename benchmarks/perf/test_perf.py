@@ -1,0 +1,40 @@
+"""pytest-benchmark view of the pinned perf scenarios.
+
+Smoke-sized by default so the CI benchmark job finishes in seconds; set
+``REPRO_BENCH_FULL=1`` for trajectory-sized runs.  Each test also
+asserts the scenario's deterministic facts are self-consistent, so a
+benchmark run doubles as a cheap determinism check.
+"""
+
+import os
+
+from repro.bench.scenarios import kernel_churn, randread_nvme, write_storm_gc
+
+PROFILE = "full" if os.environ.get("REPRO_BENCH_FULL", "0") == "1" else "smoke"
+
+
+def _run(benchmark, scenario):
+    result = benchmark.pedantic(lambda: scenario(PROFILE),
+                                rounds=1, iterations=1)
+    assert result.events > 0
+    assert result.sim_ns > 0
+    assert result.wall_seconds > 0
+    return result
+
+
+def test_kernel_churn(benchmark):
+    result = _run(benchmark, kernel_churn)
+    # the micro scenario is kernel-only: plenty of events, no I/O extras
+    assert result.extra == {}
+
+
+def test_randread_nvme(benchmark):
+    result = _run(benchmark, randread_nvme)
+    assert result.extra["iops"] > 0
+
+
+def test_write_storm_gc(benchmark):
+    result = _run(benchmark, write_storm_gc)
+    # the storm must actually trigger garbage collection
+    assert result.extra["gc_runs"] > 0
+    assert result.extra["write_amplification"] > 1.0

@@ -1,0 +1,31 @@
+"""Performance-benchmark scenarios and trajectory recording.
+
+The library half of the ``benchmarks/perf/`` harness: scenario
+definitions (:mod:`repro.bench.scenarios`) that drive the simulation
+kernel and the full system at calibrated sizes, and the ``BENCH_*.json``
+recorder (:mod:`repro.bench.record`) that gives every PR a perf
+trajectory to beat.
+
+Scenarios report *wall-clock* speed and *deterministic* simulation
+facts (``events_processed``, final simulated time) side by side.  The
+golden-determinism tests in ``tests/test_golden_determinism.py`` pin
+the deterministic half, so a faster number in a ``BENCH_*.json`` is
+only mergeable when it provably computed the same simulation.
+"""
+
+from repro.bench.record import (
+    compare_runs,
+    load_bench,
+    run_all,
+    write_bench,
+)
+from repro.bench.scenarios import SCENARIOS, ScenarioResult
+
+__all__ = [
+    "SCENARIOS",
+    "ScenarioResult",
+    "compare_runs",
+    "load_bench",
+    "run_all",
+    "write_bench",
+]

@@ -1,0 +1,92 @@
+"""Record benchmark runs into the committed ``BENCH_*.json`` trajectory.
+
+Every entry holds, per scenario, the best-of-N wall clock plus the
+deterministic simulation facts; an optional ``baseline`` section embeds
+a previous run so the speedup is part of the record.  The CLI lives in
+``benchmarks/perf`` (``python -m benchmarks.perf``).
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+from pathlib import Path
+from typing import Dict, Iterable, Optional
+
+from repro.bench.scenarios import SCENARIOS, ScenarioResult
+
+SCHEMA_VERSION = 1
+
+
+def run_all(profile: str = "full", repeats: int = 3,
+            names: Optional[Iterable[str]] = None,
+            verbose: bool = False) -> Dict[str, Dict]:
+    """Run each scenario ``repeats`` times; keep the fastest wall clock.
+
+    The deterministic fields (``events``, ``sim_ns``) must agree across
+    repeats — a mismatch means the simulator lost reproducibility, and
+    is raised immediately rather than averaged away.
+    """
+    results: Dict[str, Dict] = {}
+    for name in (names or SCENARIOS):
+        runner = SCENARIOS[name]
+        best: Optional[ScenarioResult] = None
+        for _ in range(max(1, repeats)):
+            result = runner(profile)
+            if best is not None and (result.events != best.events
+                                     or result.sim_ns != best.sim_ns):
+                raise RuntimeError(
+                    f"scenario {name!r} is non-deterministic: "
+                    f"events {best.events} vs {result.events}, "
+                    f"sim_ns {best.sim_ns} vs {result.sim_ns}")
+            if best is None or result.wall_seconds < best.wall_seconds:
+                best = result
+        results[name] = best.to_dict()
+        if verbose:
+            print(f"  {name:16s} {best.wall_seconds:8.3f}s  "
+                  f"{best.events:>9d} events  "
+                  f"{best.events_per_sec:>12,.0f} ev/s", file=sys.stderr)
+    return results
+
+
+def write_bench(path: Path, scenarios: Dict[str, Dict], profile: str,
+                date: str, baseline: Optional[Dict] = None,
+                notes: str = "") -> Dict:
+    """Assemble and write one ``BENCH_<date>.json`` document."""
+    doc = {
+        "schema": SCHEMA_VERSION,
+        "date": date,
+        "profile": profile,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "notes": notes,
+        "scenarios": scenarios,
+    }
+    if baseline is not None:
+        doc["baseline"] = {
+            "date": baseline.get("date"),
+            "notes": baseline.get("notes", ""),
+            "scenarios": baseline.get("scenarios", {}),
+        }
+        doc["speedup"] = compare_runs(baseline.get("scenarios", {}),
+                                      scenarios)
+    path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    return doc
+
+
+def load_bench(path: Path) -> Dict:
+    """Load a previously recorded benchmark document."""
+    return json.loads(Path(path).read_text())
+
+
+def compare_runs(baseline: Dict[str, Dict],
+                 current: Dict[str, Dict]) -> Dict[str, float]:
+    """Wall-clock speedup (baseline / current) per shared scenario."""
+    out: Dict[str, float] = {}
+    for name, entry in current.items():
+        base = baseline.get(name)
+        if not base or not entry.get("wall_seconds"):
+            continue
+        out[name] = round(base["wall_seconds"] / entry["wall_seconds"], 3)
+    return out

@@ -88,8 +88,13 @@ class InstructionStats:
     counts: Dict[str, int] = field(default_factory=lambda: {c: 0 for c in CLASSES})
 
     def record(self, mix: InstructionMix) -> None:
-        for name in CLASSES:
-            self.counts[name] += getattr(mix, name)
+        counts = self.counts
+        counts["arith"] += mix.arith
+        counts["branch"] += mix.branch
+        counts["load"] += mix.load
+        counts["store"] += mix.store
+        counts["fp"] += mix.fp
+        counts["other"] += mix.other
 
     @property
     def total(self) -> int:

@@ -39,8 +39,10 @@ def _reference(device: str, pattern: str, bs: int) -> float:
     return min(ceiling, grown) if grown > anchor else anchor
 
 
-def run(quick: bool = True, devices=None) -> Dict:
-    sizes = QUICK_SIZES if quick else FULL_SIZES
+def run(quick: bool = True, devices=None, sizes=None, budgets=None) -> Dict:
+    """``sizes``/``budgets`` shrink the sweep (golden small configs);
+    ``budgets`` is an (under-64K, over-64K) byte-volume pair."""
+    sizes = sizes or (QUICK_SIZES if quick else FULL_SIZES)
     devices = devices or (["intel750", "zssd"] if quick
                           else list(REAL_DEVICES))
     results: Dict = {"sizes": sizes, "devices": {}}
@@ -53,9 +55,11 @@ def run(quick: bool = True, devices=None) -> Dict:
                 # blocks: enough *volume* to exceed the write cache so
                 # sustained (flash-bound) rates are measured
                 if bs < 64 * KB:
-                    budget = (6 << 20) if quick else (16 << 20)
+                    budget = budgets[0] if budgets \
+                        else ((6 << 20) if quick else (16 << 20))
                 else:
-                    budget = (32 << 20) if quick else (96 << 20)
+                    budget = budgets[1] if budgets \
+                        else ((32 << 20) if quick else (96 << 20))
                 n_ios = max(24, budget // bs)
                 # bound the data cache so large writes actually reach
                 # flash within the run (see EXPERIMENTS.md)

@@ -58,11 +58,16 @@ def _stress_device(op: float, quick: bool) -> SSDConfig:
     )
 
 
-def run(quick: bool = True) -> Dict:
-    sizes = QUICK_SIZES if quick else FULL_SIZES
-    stress_multiplier = 0.5 if quick else 2.0
-    results: Dict = {"op_ratios": OP_RATIOS, "sizes": sizes, "bandwidth": {}}
-    for op in OP_RATIOS:
+def run(quick: bool = True, sizes=None, op_ratios=None,
+        stress_multiplier=None) -> Dict:
+    """Optional knobs shrink the sweep for the golden small configs;
+    the 20% OP point must stay included (it anchors normalization)."""
+    sizes = sizes or (QUICK_SIZES if quick else FULL_SIZES)
+    op_ratios = op_ratios or OP_RATIOS
+    if stress_multiplier is None:
+        stress_multiplier = 0.5 if quick else 2.0
+    results: Dict = {"op_ratios": op_ratios, "sizes": sizes, "bandwidth": {}}
+    for op in op_ratios:
         per_size: Dict[int, float] = {}
         for bs in sizes:
             config = _stress_device(op, quick)

@@ -22,16 +22,20 @@ KERNELS = ["4.4", "4.14"]
 INTERFACES = ["nvme", "sata"]
 
 
-def run(quick: bool = True, interfaces=None) -> Dict:
-    n_ios = 400 if quick else 1500
-    concurrency = 8 if quick else 16
+def run(quick: bool = True, interfaces=None, n_ios=None,
+        concurrency=None, workloads=None) -> Dict:
+    """``n_ios``/``concurrency``/``workloads`` shrink the sweep for the
+    golden small configs; defaults reproduce the paper's panel."""
+    n_ios = n_ios or (400 if quick else 1500)
+    concurrency = concurrency or (8 if quick else 16)
     interfaces = interfaces or INTERFACES
-    results: Dict = {"workloads": WORKLOAD_ORDER, "data": {}}
+    workloads = workloads or WORKLOAD_ORDER
+    results: Dict = {"workloads": workloads, "data": {}}
     for interface in interfaces:
         device = (presets.intel750() if interface == "nvme"
                   else presets.samsung850pro())
         for kernel in KERNELS:
-            for name in WORKLOAD_ORDER:
+            for name in workloads:
                 system = FullSystem(device=device, interface=interface,
                                     kernel=kernel)
                 system.precondition()
@@ -52,7 +56,7 @@ def _speedups(results: Dict, interfaces) -> Dict[str, float]:
     """How much faster 4.14 is than 4.4, averaged over workloads."""
     ratios = {"read": [], "write": []}
     for interface in interfaces:
-        for name in WORKLOAD_ORDER:
+        for name in results["workloads"]:
             old = results["data"][(interface, "4.4", name)]
             new = results["data"][(interface, "4.14", name)]
             if old["read_mbps"] > 0:

@@ -36,12 +36,18 @@ def _build(interface: str) -> FullSystem:
     return system
 
 
-def run(quick: bool = True) -> Dict:
-    n_ios = 400 if quick else 1500
-    concurrency = 8 if quick else 16
-    results: Dict = {"bandwidth": {}, "power": {}, "instructions": {}}
+def run(quick: bool = True, n_ios=None, concurrency=None,
+        workloads=None) -> Dict:
+    """``n_ios``/``concurrency``/``workloads`` shrink the sweep for the
+    golden small configs; panels b/c use the last workload listed."""
+    n_ios = n_ios or (400 if quick else 1500)
+    concurrency = concurrency or (8 if quick else 16)
+    workloads = workloads or WORKLOAD_ORDER
+    representative = workloads[-1]
+    results: Dict = {"workloads": workloads,
+                     "bandwidth": {}, "power": {}, "instructions": {}}
     for interface in ("nvme", "ufs"):
-        for name in WORKLOAD_ORDER:
+        for name in workloads:
             system = _build(interface)
             runner = EnterpriseRunner(system, ENTERPRISE_WORKLOADS[name],
                                       concurrency=concurrency)
@@ -51,7 +57,7 @@ def run(quick: bool = True) -> Dict:
                 "write_mbps": res.write_bandwidth_mbps,
                 "total_mbps": res.bandwidth_mbps,
             }
-            if name == "MSNFS":   # panels b/c use one representative run
+            if name == representative:  # panels b/c: one representative run
                 results["power"][interface] = res.ssd_power
                 results["instructions"][interface] = {
                     "counts": dict(res.ssd_instructions),
@@ -64,9 +70,9 @@ def run(quick: bool = True) -> Dict:
 
 def _summarize(results: Dict) -> Dict:
     nvme = [results["bandwidth"][("nvme", w)]["total_mbps"]
-            for w in WORKLOAD_ORDER]
+            for w in results["workloads"]]
     ufs = [results["bandwidth"][("ufs", w)]["total_mbps"]
-           for w in WORKLOAD_ORDER]
+           for w in results["workloads"]]
     instr = results["instructions"]
     ls_fraction = {}
     for interface, data in instr.items():

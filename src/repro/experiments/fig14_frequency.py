@@ -74,9 +74,10 @@ def _system_level(freq_ghz: int, n_ios: int, functional_cpu: bool,
     return res.bandwidth_mbps
 
 
-def run(quick: bool = True) -> Dict:
-    n_ios = 300 if quick else 1200
-    freqs = [2, 8] if quick else FREQUENCIES
+def run(quick: bool = True, n_ios=None, freqs=None) -> Dict:
+    """``n_ios``/``freqs`` shrink the sweep for the golden small configs."""
+    n_ios = n_ios or (300 if quick else 1200)
+    freqs = freqs or ([2, 8] if quick else FREQUENCIES)
     device = _device_level(n_ios)
     interface = _system_level(4, n_ios, functional_cpu=True)
     user = {f: _system_level(f, n_ios, functional_cpu=False) for f in freqs}

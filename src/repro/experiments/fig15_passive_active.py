@@ -68,12 +68,17 @@ def _phase_run(system: FullSystem, n_ios: int, bs: int) -> Dict:
     }
 
 
-def run(quick: bool = True) -> Dict:
-    n_ios = 300 if quick else 1200
-    results: Dict = {"bandwidth": {}, "phases": {}}
+def run(quick: bool = True, n_ios=None, sizes=None, patterns=None) -> Dict:
+    """``n_ios``/``sizes``/``patterns`` shrink the sweep for the golden
+    small configs; the summary covers whichever points were run."""
+    n_ios = n_ios or (300 if quick else 1200)
+    sizes = sizes or SIZES
+    patterns = patterns or PATTERNS
+    results: Dict = {"bandwidth": {}, "phases": {},
+                     "sizes": sizes, "patterns": patterns}
     for interface in ("nvme", "ocssd"):
-        for bs in SIZES:
-            for pattern in PATTERNS:
+        for bs in sizes:
+            for pattern in patterns:
                 system = _system(interface)
                 if pattern.endswith("read"):
                     # populate the region first so reads hit real data
@@ -97,13 +102,14 @@ def run(quick: bool = True) -> Dict:
 
 def _summarize(results: Dict) -> Dict:
     bw = results["bandwidth"]
+    patterns = results.get("patterns", PATTERNS)
     small = [bw[("ocssd", 4, p)] / max(1e-9, bw[("nvme", 4, p)])
-             for p in PATTERNS]
+             for p in patterns if ("ocssd", 4, p) in bw]
     large = [bw[("nvme", 64, p)] / max(1e-9, bw[("ocssd", 64, p)])
-             for p in PATTERNS]
+             for p in patterns if ("nvme", 64, p) in bw]
     return {
-        "ocssd_advantage_4k": sum(small) / len(small),
-        "nvme_advantage_64k": sum(large) / len(large),
+        "ocssd_advantage_4k": sum(small) / len(small) if small else 0.0,
+        "nvme_advantage_64k": sum(large) / len(large) if large else 0.0,
         "kernel_cpu": {i: results["phases"][i]["kernel_utilization"]
                        for i in ("nvme", "ocssd")},
         "memory_peak_mb": {i: results["phases"][i]["memory_peak_mb"]

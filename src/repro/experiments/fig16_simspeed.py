@@ -67,8 +67,9 @@ def _amber_fullsystem(n_ios: int) -> Dict:
             "events": system.sim.events_processed}
 
 
-def run(quick: bool = True) -> Dict:
-    n_ios = 500 if quick else 3000
+def run(quick: bool = True, n_ios=None) -> Dict:
+    """``n_ios`` shrinks the workload for the golden small configs."""
+    n_ios = n_ios or (500 if quick else 3000)
     config = presets.intel750()
     results: Dict = {"n_ios": n_ios, "simulators": {}}
     for name, model_cls in (("flashsim", FlashSimModel),

@@ -71,10 +71,16 @@ class DmaEngine:
 
     def to_device(self, pointers: PointerList, track: int = 0):
         """Process: pull host pages and push them down the link."""
-        with self.sim.tracer.span("dma.to_device", track,
-                                  bytes=pointers.total_bytes):
-            for address, length in self._segments(pointers):
-                del address
+        tracer = self.sim.tracer
+        if tracer.enabled:
+            with tracer.span("dma.to_device", track,
+                             bytes=pointers.total_bytes):
+                for _address, length in self._segments(pointers):
+                    yield from self.memory.access(length)
+                    yield from self.bus.transfer(length)
+                    yield from self.link.send(length)
+        else:
+            for _address, length in self._segments(pointers):
                 yield from self.memory.access(length)
                 yield from self.bus.transfer(length)
                 yield from self.link.send(length)
@@ -83,10 +89,16 @@ class DmaEngine:
 
     def to_host(self, pointers: PointerList, track: int = 0):
         """Process: pull data up the link and scatter it into host pages."""
-        with self.sim.tracer.span("dma.to_host", track,
-                                  bytes=pointers.total_bytes):
-            for address, length in self._segments(pointers):
-                del address
+        tracer = self.sim.tracer
+        if tracer.enabled:
+            with tracer.span("dma.to_host", track,
+                             bytes=pointers.total_bytes):
+                for _address, length in self._segments(pointers):
+                    yield from self.link.receive(length)
+                    yield from self.bus.transfer(length)
+                    yield from self.memory.access(length, write=True)
+        else:
+            for _address, length in self._segments(pointers):
                 yield from self.link.receive(length)
                 yield from self.bus.transfer(length)
                 yield from self.memory.access(length, write=True)

@@ -10,6 +10,7 @@ from __future__ import annotations
 from typing import Dict
 
 from repro.common.instructions import InstructionMix
+from repro.obs.tracer import NULL_SPAN_CONTEXT
 from repro.common.iorequest import IOKind
 from repro.host.dma import DmaEngine, PointerList
 from repro.interfaces.nvme.host import NvmeDriver
@@ -140,8 +141,9 @@ class NvmeController:
         pointers = PointerList(list(sqe.prp_entries))
         payload = None
 
-        with self.sim.tracer.span("nvme.cmd", track, qid=qid,
-                                  opcode=sqe.opcode.name):
+        tracer = self.sim.tracer
+        with (tracer.span("nvme.cmd", track, qid=qid, opcode=sqe.opcode.name)
+              if tracer.enabled else NULL_SPAN_CONTEXT):
             if sqe.opcode is NvmeOpcode.WRITE:
                 # pull data host -> device (PRP walk), then hand to firmware
                 yield from self.dma.to_device(pointers, track=track)

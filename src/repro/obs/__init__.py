@@ -35,7 +35,14 @@ from repro.obs.runtime import (
     tracers,
     tracing_enabled,
 )
-from repro.obs.tracer import NULL_TRACER, NullTracer, Span, Tracer, merge_spans
+from repro.obs.tracer import (
+    NULL_SPAN_CONTEXT,
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    merge_spans,
+)
 
 __all__ = [
     "Counter",
@@ -43,6 +50,7 @@ __all__ = [
     "MetricsRegistry",
     "ScopedRegistry",
     "NullTracer",
+    "NULL_SPAN_CONTEXT",
     "NULL_TRACER",
     "Span",
     "Tracer",

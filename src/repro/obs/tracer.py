@@ -188,6 +188,11 @@ NULL_SPAN.t_end = 0
 
 _NULL_CONTEXT = _NullSpanContext()
 
+#: Public no-op context for hot-path ``tracer.enabled`` guards:
+#: ``with tracer.span(...) if tracer.enabled else NULL_SPAN_CONTEXT:``
+#: skips even the kwargs construction of the span() call when disabled.
+NULL_SPAN_CONTEXT = _NULL_CONTEXT
+
 #: The process-wide disabled tracer every Simulator starts with.
 NULL_TRACER = NullTracer()
 

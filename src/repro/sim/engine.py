@@ -1,4 +1,12 @@
-"""The event loop at the heart of the simulation."""
+"""The event loop at the heart of the simulation.
+
+Hot-path note: ``run``/``run_process`` inline the pop-and-process body
+of :meth:`Simulator.step` (and of ``Event._process``) with the heap and
+counters bound to locals — the loop runs hundreds of thousands of times
+per macro benchmark and attribute lookups dominate otherwise.  All three
+copies must stay semantically identical; the golden determinism suite
+(``tests/golden``) pins the observable behaviour.
+"""
 
 from __future__ import annotations
 
@@ -21,6 +29,11 @@ class Simulator:
     Events scheduled for the same instant are processed in the order they
     were enqueued (FIFO tie-break via a monotonically increasing sequence
     number), which keeps every run bit-for-bit reproducible.
+
+    Cancelled events (see :meth:`~repro.sim.events.Timeout.cancel`) stay
+    in the heap as tombstones and are discarded when popped — without
+    counting toward ``events_processed``, so a cancel storm does not
+    perturb the simulation-speed metric.
 
     Every simulator carries a ``tracer`` (see :mod:`repro.obs`): the
     shared no-op ``NULL_TRACER`` by default, or a live span recorder when
@@ -93,28 +106,55 @@ class Simulator:
     # -- execution -------------------------------------------------------
 
     def peek(self) -> Optional[int]:
-        """Time of the next event, or ``None`` if the queue is empty."""
-        return self._queue[0][0] if self._queue else None
+        """Time of the next live event, or ``None`` if the queue is empty.
+
+        Tombstoned (cancelled) heads are purged on the way, so the
+        answer always refers to an event that will actually fire.
+        """
+        queue = self._queue
+        while queue:
+            if queue[0][2]._cancelled:
+                heapq.heappop(queue)
+            else:
+                return queue[0][0]
+        return None
 
     def step(self) -> None:
-        """Process exactly one event."""
-        if not self._queue:
-            raise EmptySchedule()
-        when, _seq, event = heapq.heappop(self._queue)
-        self._now = when
-        self._event_count += 1
-        event._process()
+        """Process exactly one live event (skipping tombstones)."""
+        queue = self._queue
+        while queue:
+            when, _seq, event = heapq.heappop(queue)
+            if event._cancelled:
+                continue
+            self._now = when
+            self._event_count += 1
+            event._process()
+            return
+        raise EmptySchedule()
 
     def run(self, until: Optional[int] = None) -> None:
         """Run until the queue drains or simulated time reaches ``until``."""
         if until is not None and until < self._now:
             raise ValueError("until lies in the past")
-        while self._queue:
-            when = self._queue[0][0]
-            if until is not None and when > until:
+        # Inlined step()/Event._process() with locals for the hot loop.
+        queue = self._queue
+        pop = heapq.heappop
+        record_orphan = self._record_orphan_failure
+        while queue:
+            if until is not None and queue[0][0] > until:
                 self._now = until
                 return
-            self.step()
+            when, _seq, event = pop(queue)
+            if event._cancelled:
+                continue
+            self._now = when
+            self._event_count += 1
+            event._processed = True
+            callbacks, event.callbacks = event.callbacks, None
+            if not event._ok and not callbacks:
+                record_orphan(event)
+            for callback in callbacks:
+                callback(event)
         if until is not None:
             self._now = until
 
@@ -134,16 +174,29 @@ class Simulator:
         ``now`` never sits behind a deadline that has already passed.
         """
         proc = self.process(generator)
-        while not proc.processed and self._queue:
-            if until is not None and self._queue[0][0] > until:
+        queue = self._queue
+        pop = heapq.heappop
+        record_orphan = self._record_orphan_failure
+        while not proc._processed and queue:
+            if until is not None and queue[0][0] > until:
                 break
-            self.step()
-        if not proc.processed:
+            when, _seq, event = pop(queue)
+            if event._cancelled:
+                continue
+            self._now = when
+            self._event_count += 1
+            event._processed = True
+            callbacks, event.callbacks = event.callbacks, None
+            if not event._ok and not callbacks:
+                record_orphan(event)
+            for callback in callbacks:
+                callback(event)
+        if not proc._processed:
             if until is not None and self._now < until:
                 self._now = until
             self.check_orphan_failures()
             raise RuntimeError("process did not complete"
                                + ("" if until is None else " before the deadline"))
-        if not proc.ok:
-            raise proc.value
-        return proc.value
+        if not proc._ok:
+            raise proc._value
+        return proc._value

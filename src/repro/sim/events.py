@@ -1,7 +1,20 @@
-"""Event primitives for the simulation kernel."""
+"""Event primitives for the simulation kernel.
+
+Hot-path note: this module (with :mod:`repro.sim.engine` and
+:mod:`repro.sim.process`) is the innermost loop of every simulation —
+hundreds of thousands of events per macro benchmark (see
+``docs/PERFORMANCE.md``).  The implementation therefore trades a little
+elegance for speed: ``__slots__`` everywhere, direct underscore-field
+access between the three kernel modules instead of property calls, and
+constructors that initialize fields inline rather than chaining through
+``super().__init__``.  Behavioural contracts are pinned by the golden
+determinism suite, so any change here must keep event schedules
+bit-identical.
+"""
 
 from __future__ import annotations
 
+from heapq import heappush
 from typing import Any, Callable, List, Optional
 
 
@@ -14,7 +27,8 @@ class Event:
     Processes wait on events by ``yield``-ing them.
     """
 
-    __slots__ = ("sim", "callbacks", "_value", "_ok", "_triggered", "_processed")
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_triggered",
+                 "_processed", "_cancelled")
 
     def __init__(self, sim) -> None:
         self.sim = sim
@@ -23,6 +37,7 @@ class Event:
         self._ok: bool = True
         self._triggered = False
         self._processed = False
+        self._cancelled = False
 
     @property
     def triggered(self) -> bool:
@@ -33,6 +48,11 @@ class Event:
     def processed(self) -> bool:
         """True once the simulator popped the event and ran callbacks."""
         return self._processed
+
+    @property
+    def cancelled(self) -> bool:
+        """True if the event was tombstoned before processing."""
+        return self._cancelled
 
     @property
     def ok(self) -> bool:
@@ -53,7 +73,13 @@ class Event:
         self._triggered = True
         self._value = value
         self._ok = True
-        self.sim._enqueue(delay, self)
+        if delay:
+            self.sim._enqueue(delay, self)
+        else:
+            # zero-delay trigger is the overwhelmingly common case:
+            # push at the current instant without the _enqueue call
+            sim = self.sim
+            heappush(sim._queue, (sim._now, next(sim._sequence), self))
         return self
 
     def fail(self, exception: BaseException, delay: int = 0) -> "Event":
@@ -79,6 +105,8 @@ class Event:
             self.callbacks.append(callback)
 
     def _process(self) -> None:
+        # NOTE: the simulator inlines this body in its run loops; keep the
+        # two in sync (engine.step / engine.run / engine.run_process).
         self._processed = True
         callbacks, self.callbacks = self.callbacks, None
         if not self._ok and not callbacks:
@@ -89,24 +117,51 @@ class Event:
             callback(self)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        state = "processed" if self._processed else (
-            "triggered" if self._triggered else "pending")
+        state = "cancelled" if self._cancelled else (
+            "processed" if self._processed else (
+                "triggered" if self._triggered else "pending"))
         return f"<{type(self).__name__} {state} at t={self.sim.now}>"
 
 
 class Timeout(Event):
-    """An event that fires a fixed delay after creation."""
+    """An event that fires a fixed delay after creation.
+
+    A pending timeout may be :meth:`cancel`-led — e.g. an elevator's
+    anticipation timer obsoleted by an arriving request.  Cancellation
+    tombstones the heap entry: the simulator drops it lazily when it
+    reaches the head of the queue, without rebuilding the heap and
+    without counting it in ``events_processed``.
+    """
 
     __slots__ = ("delay",)
 
     def __init__(self, sim, delay: int, value: Any = None) -> None:
         if delay < 0:
             raise ValueError(f"negative timeout delay: {delay}")
-        super().__init__(sim)
-        self.delay = int(delay)
-        self._triggered = True
+        # Inline the Event/queue setup: this constructor runs once per
+        # simulated wait and the super().__init__ chain is measurable.
+        self.sim = sim
+        self.callbacks = []
         self._value = value
-        sim._enqueue(self.delay, self)
+        self._ok = True
+        self._triggered = True
+        self._processed = False
+        self._cancelled = False
+        self.delay = delay = int(delay)
+        # delay was validated non-negative above; push directly
+        heappush(sim._queue, (sim._now + delay, next(sim._sequence), self))
+
+    def cancel(self) -> None:
+        """Tombstone the timeout so it never fires.
+
+        Only meaningful while the timeout is still queued; cancelling a
+        processed timeout is an error.  Waiters that registered before
+        the cancel will never be resumed by this event, so only cancel
+        timeouts you own exclusively (the usual speculative-timer case).
+        """
+        if self._processed:
+            raise RuntimeError("cannot cancel a processed timeout")
+        self._cancelled = True
 
 
 class Interrupt(Exception):
@@ -126,22 +181,25 @@ class _Condition(Event):
         super().__init__(sim)
         self.events = list(events)
         self._pending = 0
+        child_done = self._child_done
         for event in self.events:
-            if event.processed:
-                if not event.ok:
-                    self.fail(event.value)
+            if event._processed:
+                if not event._ok:
+                    self.fail(event._value)
                     return
             else:
                 self._pending += 1
-                event.add_callback(self._child_done)
+                # children are pending or queued here, so their callback
+                # list exists; append directly (no add_callback dispatch)
+                event.callbacks.append(child_done)
         self._check()
 
     def _child_done(self, event: Event) -> None:
         self._pending -= 1
         if self._triggered:
             return
-        if not event.ok:
-            self.fail(event.value)
+        if not event._ok:
+            self.fail(event._value)
             return
         self._check()
 
@@ -149,7 +207,8 @@ class _Condition(Event):
         raise NotImplementedError
 
     def _results(self):
-        return [event.value for event in self.events if event.processed and event.ok]
+        return [event._value for event in self.events
+                if event._processed and event._ok]
 
 
 class AllOf(_Condition):
@@ -171,5 +230,5 @@ class AnyOf(_Condition):
         if self._triggered:
             return
         if self._pending < len(self.events) or not self.events:
-            done = [event for event in self.events if event.processed]
-            self.succeed(done[0].value if done else None)
+            done = [event for event in self.events if event._processed]
+            self.succeed(done[0]._value if done else None)

@@ -1,7 +1,15 @@
-"""Generator-driven simulation processes."""
+"""Generator-driven simulation processes.
+
+Hot-path note: ``_resume`` runs once per generator step — by far the
+most frequent call in any simulation — so it reads the waited event's
+underscore fields directly and attempts the common wait case (a live
+event on the same simulator) inline, deferring to :meth:`_wait_on` only
+for error diagnostics and already-processed targets.
+"""
 
 from __future__ import annotations
 
+from heapq import heappush
 from typing import Any, Generator
 
 from repro.sim.events import Event, Interrupt
@@ -23,10 +31,12 @@ class Process(Event):
         super().__init__(sim)
         self._generator = generator
         self._waiting_on: Event = None
-        # Kick off at the current instant (after already-queued events).
+        # Kick off at the current instant (after already-queued events);
+        # inlined succeed() — the bootstrap is ours, never pre-triggered.
         bootstrap = Event(sim)
         bootstrap.callbacks.append(self._resume)
-        bootstrap.succeed()
+        bootstrap._triggered = True
+        heappush(sim._queue, (sim._now, next(sim._sequence), bootstrap))
 
     @property
     def is_alive(self) -> bool:
@@ -63,10 +73,10 @@ class Process(Event):
     def _resume(self, event: Event) -> None:
         self._waiting_on = None
         try:
-            if event.ok:
-                target = self._generator.send(event.value)
+            if event._ok:
+                target = self._generator.send(event._value)
             else:
-                target = self._generator.throw(event.value)
+                target = self._generator.throw(event._value)
         except StopIteration as stop:
             self.succeed(stop.value)
             return
@@ -75,7 +85,21 @@ class Process(Event):
                 raise
             self.fail(exc)
             return
-        self._wait_on(target)
+        # Fast path: target is a live event on our simulator — subscribe
+        # directly.  Anything else (non-event, foreign simulator,
+        # already-processed) falls through to the checked slow path.
+        try:
+            callbacks = target.callbacks
+            target_sim = target.sim
+        except AttributeError:
+            self._wait_on(target)  # raises the diagnostic TypeError
+            return
+        if callbacks is not None and target_sim is self.sim \
+                and isinstance(target, Event):
+            self._waiting_on = target
+            callbacks.append(self._resume)
+        else:
+            self._wait_on(target)
 
     def _wait_on(self, target) -> None:
         if not isinstance(target, Event):
@@ -86,3 +110,5 @@ class Process(Event):
             raise ValueError("yielded event belongs to a different simulator")
         self._waiting_on = target
         target.add_callback(self._resume)
+    # NOTE: _resume subscribes via callbacks.append directly on its fast
+    # path; add_callback here covers the already-processed target case.

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import heapq
 from collections import deque
+from heapq import heappush
 from itertools import count
 from typing import Any, Deque, List, Optional, Tuple
 
@@ -45,9 +46,16 @@ class Resource:
 
     def acquire(self) -> Event:
         """Request one unit; the returned event fires when granted."""
-        event = Event(self.sim)
+        sim = self.sim
+        event = Event(sim)
         if self._in_use < self.capacity:
-            self._grant(event)
+            # inline _grant + succeed: the uncontended fast path
+            if self._in_use == 0 and self._busy_since is None:
+                self._busy_since = sim._now
+            self._in_use += 1
+            event._triggered = True
+            event._value = self
+            heappush(sim._queue, (sim._now, next(sim._sequence), event))
         else:
             self._waiters.append(event)
         return event
@@ -65,7 +73,7 @@ class Resource:
 
     def _grant(self, event: Event) -> None:
         if self._in_use == 0 and self._busy_since is None:
-            self._busy_since = self.sim.now
+            self._busy_since = self.sim._now
         self._in_use += 1
         event.succeed(self)
 

@@ -33,6 +33,9 @@ class EmbeddedCore:
         self.stats = InstructionStats()
         self._dynamic_energy = 0.0
         self._origin = sim.now
+        # exec_ns memo: firmware reuses a small set of frozen mixes on
+        # every I/O; cpi/frequency are fixed after construction.
+        self._exec_ns_cache: Dict[InstructionMix, int] = {}
 
     def execute(self, mix: InstructionMix):
         """Process generator: run the mix to completion on this core."""
@@ -45,7 +48,12 @@ class EmbeddedCore:
         self._dynamic_energy += mix.total * self.config.energy_per_instruction
 
     def exec_ns(self, mix: InstructionMix) -> int:
-        return cycles_to_ns(mix.cycles(self.cpi), self.frequency)
+        try:
+            return self._exec_ns_cache[mix]
+        except KeyError:
+            ns = cycles_to_ns(mix.cycles(self.cpi), self.frequency)
+            self._exec_ns_cache[mix] = ns
+            return ns
 
     def utilization(self) -> float:
         return self.resource.utilization()

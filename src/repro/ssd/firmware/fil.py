@@ -37,20 +37,34 @@ class FlashInterfaceLayer:
 
     def read(self, ppn: int, nbytes: int = 0, track: int = 0):
         """Process generator: one timed page read."""
-        with self.sim.tracer.span("flash.read", track, ppn=ppn):
+        tracer = self.sim.tracer
+        if tracer.enabled:
+            with tracer.span("flash.read", track, ppn=ppn):
+                yield from self._charge()
+                yield from self.backend.read_page(ppn, nbytes)
+        else:
             yield from self._charge()
             yield from self.backend.read_page(ppn, nbytes)
 
     def program(self, ppn: int, track: int = 0):
         """Process generator: one timed page program."""
-        with self.sim.tracer.span("flash.program", track, ppn=ppn):
+        tracer = self.sim.tracer
+        if tracer.enabled:
+            with tracer.span("flash.program", track, ppn=ppn):
+                yield from self._charge()
+                yield from self.backend.program_page(ppn)
+        else:
             yield from self._charge()
             yield from self.backend.program_page(ppn)
 
     def erase(self, unit: int, block: int, track: int = 0):
         """Process generator: one timed block erase; returns success."""
-        with self.sim.tracer.span("flash.erase", track, unit=unit,
-                                  block=block):
+        tracer = self.sim.tracer
+        if tracer.enabled:
+            with tracer.span("flash.erase", track, unit=unit, block=block):
+                yield from self._charge()
+                ok = yield from self.backend.erase_block(unit, block)
+        else:
             yield from self._charge()
             ok = yield from self.backend.erase_block(unit, block)
         return ok
@@ -90,7 +104,11 @@ class FlashInterfaceLayer:
         yield AllOf(self.sim, events)
 
     def _multiplane(self, ppns: List[int], track: int = 0):
-        with self.sim.tracer.span("flash.program", track,
-                                  planes=len(ppns)):
+        tracer = self.sim.tracer
+        if tracer.enabled:
+            with tracer.span("flash.program", track, planes=len(ppns)):
+                yield from self._charge()
+                yield from self.backend.program_multiplane(ppns)
+        else:
             yield from self._charge()
             yield from self.backend.program_multiplane(ppns)

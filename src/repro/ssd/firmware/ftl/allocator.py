@@ -10,7 +10,7 @@ multi-way parallelism of Figure 2.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, List, Optional
+from typing import Deque, Dict, List, Optional
 
 from repro.ssd.config import SSDConfig
 from repro.ssd.storage.array import FlashArray
@@ -26,7 +26,9 @@ class _UnitState:
     def __init__(self, blocks: int) -> None:
         self.free: Deque[int] = deque(range(blocks))
         self.active: Optional[int] = None
-        self.filled: List[int] = []
+        # insertion-ordered set of fully-programmed blocks: O(1) add and
+        # remove, FIFO iteration (same order the old list gave)
+        self.filled: Dict[int, None] = {}
         self.retired: List[int] = []
 
 
@@ -116,7 +118,7 @@ class PageAllocator:
         ppn = self.array.mapper.ppn_from_unit(unit, state.active, page)
         self.array.program_ppn(ppn, now)
         if block.is_fully_programmed(geom.pages_per_block):
-            state.filled.append(state.active)
+            state.filled[state.active] = None
             state.active = None
         return ppn
 
@@ -128,15 +130,13 @@ class PageAllocator:
     def reclaim(self, unit: int, block: int) -> None:
         """Return an erased block to the unit's free pool."""
         state = self._units[unit]
-        if block in state.filled:
-            state.filled.remove(block)
+        state.filled.pop(block, None)
         state.free.append(block)
 
     def retire_block(self, unit: int, block: int) -> None:
         """Bad-block management: take a failed block out of service."""
         state = self._units[unit]
-        if block in state.filled:
-            state.filled.remove(block)
+        state.filled.pop(block, None)
         if block in state.free:
             state.free.remove(block)
         if state.active == block:

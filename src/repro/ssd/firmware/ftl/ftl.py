@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence
 
 from repro.common.instructions import InstructionMix
+from repro.obs.tracer import NULL_SPAN_CONTEXT
 from repro.sim import Resource
 from repro.ssd.computation.cores import CpuComplex
 from repro.ssd.computation.dram import InternalDram
@@ -28,7 +29,7 @@ from repro.ssd.firmware.ftl.mapping import (
     PageMapping,
     make_mapping,
 )
-from repro.ssd.storage.array import FlashArray
+from repro.ssd.storage.array import FlashArray, PageState
 
 _MAP_ENTRY_BYTES = 8
 
@@ -87,7 +88,9 @@ class FlashTranslationLayer:
         result: Dict[int, int] = {}
         probe_hashmap = (isinstance(self.mapping, PageMapping)
                          and self.config.ftl.partial_update_hashmap)
-        with self.sim.tracer.span("ftl.translate", track, line=line_id):
+        tracer = self.sim.tracer
+        with (tracer.span("ftl.translate", track, line=line_id)
+              if tracer.enabled else NULL_SPAN_CONTEXT):
             for slot in slots:
                 lpn = self.line_lpn(line_id, slot)
                 yield from self.cores.execute("ftl", self._translate_mix)
@@ -112,7 +115,9 @@ class FlashTranslationLayer:
         (and the flash programs beneath it) to a host request; cache
         flushes leave it 0, the background lane.
         """
-        with self.sim.tracer.span("ftl.write", track, line=line_id):
+        tracer = self.sim.tracer
+        with (tracer.span("ftl.write", track, line=line_id)
+              if tracer.enabled else NULL_SPAN_CONTEXT):
             if isinstance(self.mapping, PageMapping):
                 yield from self._write_page_mapped(line_id, slot_data, partial,
                                                    track)
@@ -249,17 +254,27 @@ class FlashTranslationLayer:
         geom = self.config.geometry
         for page in list(block.valid_pages()):
             old_ppn = self.array.mapper.ppn_from_unit(unit, victim, page)
-            lpn = self.mapping.reverse(old_ppn)
             yield from self.cores.execute("ftl", self._gc_page_mix)
             yield from self.fil.read(old_ppn, geom.page_size)
             if not self.allocator.can_allocate(unit):
                 raise RuntimeError(
                     f"GC on unit {unit} cannot migrate: no free block "
                     "(over-provisioning too small for workload)")
+            # Only this unit is locked, so during the timed read a host
+            # write/trim on another unit may have remapped or discarded
+            # this LPN (its bind/unbind invalidated old_ppn).  Re-check
+            # and resolve the owner atomically with the rebind — binding
+            # a stale copy would orphan the host's newer page.
+            if self.array.page_state(old_ppn) is not PageState.VALID:
+                continue
+            lpn = self.mapping.reverse(old_ppn)
             new_ppn = self.allocator.allocate(unit, self.sim.now)
             self.content.move(old_ppn, new_ppn)
             if lpn != UNMAPPED:
                 self.mapping.bind(lpn, new_ppn)
+            else:
+                # valid page with no logical owner: drop the fresh copy
+                self.array.invalidate_ppn(new_ppn)
             self.array.invalidate_ppn(old_ppn)
             yield from self.fil.program(new_ppn)
             yield from self.dram.access(

@@ -13,6 +13,7 @@ from collections import OrderedDict, deque
 from typing import Deque, Dict, List, Optional
 
 from repro.common.instructions import InstructionMix
+from repro.obs.tracer import NULL_SPAN_CONTEXT
 from repro.common.iorequest import IOKind
 from repro.sim import AllOf
 from repro.ssd.computation.cores import CpuComplex
@@ -106,10 +107,11 @@ class HostInterfaceLayer:
             self.sim.process(self._serve(cmd))
 
     def _serve(self, cmd: DeviceCommand):
+        tracer = self.sim.tracer
         try:
-            with self.sim.tracer.span("hil.serve", cmd.track,
-                                      op=cmd.kind.name,
-                                      sectors=cmd.nsectors):
+            with (tracer.span("hil.serve", cmd.track, op=cmd.kind.name,
+                              sectors=cmd.nsectors)
+                  if tracer.enabled else NULL_SPAN_CONTEXT):
                 if cmd.kind == IOKind.FLUSH:
                     yield from self.icl.flush_all()
                     result = None

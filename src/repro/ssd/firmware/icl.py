@@ -14,6 +14,7 @@ from collections import OrderedDict
 from typing import Dict, List, Optional, Tuple
 
 from repro.common.instructions import InstructionMix
+from repro.obs.tracer import NULL_SPAN_CONTEXT
 from repro.sim import AllOf, Resource
 from repro.ssd.computation.cores import CpuComplex
 from repro.ssd.computation.dram import InternalDram
@@ -156,22 +157,26 @@ class InternalCacheLayer:
             return 1
         return cache.ways
 
-    def _pick_victim(self, candidates: List[_CacheLine]) -> Optional[_CacheLine]:
-        evictable = [line for line in candidates if not line.flushing]
-        if not evictable:
-            return None
-        clean = [line for line in evictable if not line.is_dirty]
-        pool = clean or evictable
+    def _pick_victim(self, candidates) -> Optional[_CacheLine]:
         policy = self.config.cache.replacement
         if policy == "random":
-            return self._rng.choice(pool)
-        # OrderedDict iteration order == recency order; fifo == insertion
-        # order, which OrderedDict also preserves (we only move_to_end on
-        # access for lru).
-        for line in self._lines.values():
-            if line in pool:
+            evictable = [line for line in candidates if not line.flushing]
+            if not evictable:
+                return None
+            clean = [line for line in evictable if not line.is_dirty]
+            return self._rng.choice(clean or evictable)
+        # lru/fifo: candidates follow the OrderedDict's recency/insertion
+        # order, so the victim is simply the first clean non-flushing
+        # line, falling back to the first non-flushing (dirty) one.
+        first_evictable = None
+        for line in candidates:
+            if line.flushing:
+                continue
+            if not line.is_dirty:
                 return line
-        return pool[0]
+            if first_evictable is None:
+                first_evictable = line
+        return first_evictable
 
     def _touch(self, line: _CacheLine) -> None:
         # the line may have been evicted by a concurrent request while we
@@ -184,7 +189,9 @@ class InternalCacheLayer:
 
     def write(self, req: LineRequest):
         """Process: absorb a line write into the cache (write-back)."""
-        with self.sim.tracer.span("icl.write", req.track, line=req.line_id):
+        tracer = self.sim.tracer
+        with (tracer.span("icl.write", req.track, line=req.line_id)
+              if tracer.enabled else NULL_SPAN_CONTEXT):
             if not self.enabled:
                 yield from self._write_through(req)
                 return
@@ -217,7 +224,9 @@ class InternalCacheLayer:
 
     def read(self, req: LineRequest):
         """Process: serve a line read; returns {slot: bytes|None}."""
-        with self.sim.tracer.span("icl.read", req.track, line=req.line_id):
+        tracer = self.sim.tracer
+        with (tracer.span("icl.read", req.track, line=req.line_id)
+              if tracer.enabled else NULL_SPAN_CONTEXT):
             if not self.enabled:
                 result = yield from self._read_through(req)
                 return result
@@ -327,11 +336,19 @@ class InternalCacheLayer:
         line = self._lines.get(line_id)
         if line is not None:
             return line
+        full_assoc = self.config.cache.associativity == "full"
         while True:
-            conflicts = self._conflicting_lines(line_id)
-            if (len(self._lines) < self.capacity_lines
-                    and len(conflicts) < self._set_capacity()):
-                break
+            if full_assoc:
+                # fully associative: any frame conflicts, so no candidate
+                # list is needed until eviction time (values() is a view)
+                if len(self._lines) < self.capacity_lines:
+                    break
+                conflicts = self._lines.values()
+            else:
+                conflicts = self._conflicting_lines(line_id)
+                if (len(self._lines) < self.capacity_lines
+                        and len(conflicts) < self._set_capacity()):
+                    break
             victim = self._pick_victim(conflicts)
             if victim is not None and not victim.is_dirty:
                 self._lines.pop(victim.line_id, None)

@@ -40,6 +40,12 @@ class FlashBackend:
             Resource(sim, 1, name=f"ch{i}") for i in range(geom.channels)]
         self._rng = random.Random(config.reliability.seed)
         self._erase_count_of = erase_counts or (lambda unit, block: 0)
+        # Timing memo tables: FlashTiming is frozen, so per-parity read/
+        # program latencies and per-size transfer times never change.
+        timing = config.timing
+        self._t_read_parity = (timing.t_read(0), timing.t_read(1))
+        self._t_prog_parity = (timing.t_prog(0), timing.t_prog(1))
+        self._xfer_cache: dict = {}
         # observability
         self.reads_issued = 0
         self.programs_issued = 0
@@ -97,8 +103,13 @@ class FlashBackend:
     # -- timing helpers ----------------------------------------------------
 
     def _xfer_ns(self, nbytes: int) -> int:
-        return self.config.timing.t_cmd + transfer_ns(
-            nbytes, self.config.timing.channel_bandwidth)
+        try:
+            return self._xfer_cache[nbytes]
+        except KeyError:
+            ns = self.config.timing.t_cmd + transfer_ns(
+                nbytes, self.config.timing.channel_bandwidth)
+            self._xfer_cache[nbytes] = ns
+            return ns
 
     def _payload_bytes(self, nbytes: int) -> int:
         if self.config.fil.transfer_whole_page or nbytes <= 0:
@@ -113,9 +124,9 @@ class FlashBackend:
         ``nbytes`` limits the data-out transfer (partial-page read); 0
         means the whole page.
         """
-        timing = self.config.timing
         unit = self.mapper.unit_of_ppn(ppn)
         page = self.mapper.page_of_ppn(ppn)
+        t_read = self._t_read_parity[page & 1]
         payload = self._payload_bytes(nbytes)
         die = self.die_resource(unit)
         channel = self.channel_resource(unit)
@@ -123,7 +134,7 @@ class FlashBackend:
         block = self.mapper.block_of_ppn(ppn)
         yield die.acquire()
         try:
-            yield self.sim.timeout(timing.t_read(page))
+            yield self.sim.timeout(t_read)
             # ECC read-retry: re-sense with tuned thresholds until clean
             retries = 0
             while (self._read_needs_retry(unit, block)
@@ -131,7 +142,7 @@ class FlashBackend:
                 retries += 1
                 self.read_retries += 1
                 self.power.record_read()
-                yield self.sim.timeout(timing.t_read(page))
+                yield self.sim.timeout(t_read)
             yield channel.acquire()
             try:
                 yield self.sim.timeout(self._xfer_ns(payload))
@@ -145,7 +156,6 @@ class FlashBackend:
 
     def program_page(self, ppn: int, nbytes: int = 0):
         """Stream data in over the channel, then program the cell array."""
-        timing = self.config.timing
         unit = self.mapper.unit_of_ppn(ppn)
         page = self.mapper.page_of_ppn(ppn)
         payload = self.config.geometry.page_size  # programs write whole pages
@@ -159,7 +169,7 @@ class FlashBackend:
                 yield self.sim.timeout(self._xfer_ns(payload))
             finally:
                 channel.release()
-            yield self.sim.timeout(timing.t_prog(page))
+            yield self.sim.timeout(self._t_prog_parity[page & 1])
         finally:
             die.release()
         self.programs_issued += 1
@@ -175,7 +185,6 @@ class FlashBackend:
         """
         if not ppns:
             return
-        timing = self.config.timing
         units = {self.mapper.die_of_unit(self.mapper.unit_of_ppn(p)) for p in ppns}
         if len(units) != 1:
             raise ValueError("multi-plane program must target a single die")
@@ -191,7 +200,8 @@ class FlashBackend:
                 yield self.sim.timeout(len(ppns) * self._xfer_ns(payload))
             finally:
                 channel.release()
-            t_prog = max(timing.t_prog(self.mapper.page_of_ppn(p)) for p in ppns)
+            t_prog = max(self._t_prog_parity[self.mapper.page_of_ppn(p) & 1]
+                         for p in ppns)
             yield self.sim.timeout(t_prog)
         finally:
             die.release()

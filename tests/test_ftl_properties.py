@@ -1,0 +1,124 @@
+"""Property-based FTL invariants under random write/trim traffic.
+
+Three contracts that must hold no matter what the host throws at the
+device (including traffic heavy enough to force garbage collection):
+
+* **mapping injectivity** — no two LPNs ever resolve to the same PPN,
+  and the forward/reverse maps stay mutually consistent;
+* **GC preserves live data** — every mapped page is VALID in the flash
+  array and every VALID flash page is reachable from the map: migration
+  can move pages but never lose or duplicate them;
+* **free-block accounting** — every block of every parallel unit is in
+  exactly one pool (free / active / filled / retired), always.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.common.iorequest import IOKind
+from repro.sim import Simulator
+from repro.ssd.config import FTLConfig
+from repro.ssd.device import SSD
+from repro.ssd.firmware.ftl.mapping import UNMAPPED
+from repro.ssd.firmware.requests import DeviceCommand
+from repro.ssd.storage.array import PageState
+
+from tests.conftest import tiny_ssd_config
+
+#: (is_trim, start_page, page_count) triples; pages are converted to the
+#: device's sector space inside the test
+_ops = st.lists(
+    st.tuples(st.booleans(), st.integers(0, 127), st.integers(1, 16)),
+    min_size=1, max_size=60)
+
+
+def _drive(ops):
+    """Run the op sequence on a tiny SSD and return it quiesced."""
+    sim = Simulator()
+    config = tiny_ssd_config(
+        ftl=FTLConfig(overprovision=0.25, gc_threshold_free_blocks=1,
+                      wear_delta_threshold=4))
+    ssd = SSD(sim, config)
+    sectors_per_page = config.geometry.page_size // 512
+    logical_pages = config.logical_pages
+
+    def host():
+        for is_trim, start_page, page_count in ops:
+            start = start_page % logical_pages
+            count = min(page_count, logical_pages - start)
+            cmd = DeviceCommand(
+                IOKind.TRIM if is_trim else IOKind.WRITE,
+                start * sectors_per_page, count * sectors_per_page)
+            yield ssd.submit(cmd)
+        # drain the write-back cache so the map reflects every write
+        yield ssd.submit(DeviceCommand(IOKind.FLUSH, 0, 0))
+
+    sim.run_process(host())
+    return ssd
+
+
+def _check_invariants(ssd):
+    mapping = ssd.ftl.mapping
+    geometry = ssd.config.geometry
+
+    mapped = [(lpn, int(ppn)) for lpn, ppn in enumerate(mapping.l2p)
+              if int(ppn) != UNMAPPED]
+
+    # -- injectivity: distinct LPNs own distinct PPNs, maps agree
+    ppns = [ppn for _lpn, ppn in mapped]
+    assert len(ppns) == len(set(ppns)), "two LPNs share one PPN"
+    for lpn, ppn in mapped:
+        assert mapping.reverse(ppn) == lpn
+
+    # -- no lost pages: mapped <-> VALID in the array, exactly
+    for _lpn, ppn in mapped:
+        assert ssd.array.page_state(ppn) == PageState.VALID
+    total_valid = sum(
+        block.valid_count
+        for unit in range(geometry.parallel_units)
+        for block in ssd.array.blocks_of_unit(unit))
+    assert total_valid == len(mapped), (
+        "flash array holds valid pages the mapping cannot reach")
+
+    # -- free-block accounting: each block in exactly one pool
+    for unit in range(geometry.parallel_units):
+        state = ssd.ftl.allocator._units[unit]
+        pools = (list(state.free) + list(state.filled)
+                 + list(state.retired)
+                 + ([state.active] if state.active is not None else []))
+        assert len(pools) == geometry.blocks_per_plane
+        assert len(set(pools)) == len(pools), "block present in two pools"
+        assert ssd.ftl.allocator.free_blocks(unit) >= 0
+
+
+@settings(max_examples=12, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(_ops)
+def test_mapping_and_accounting_invariants(ops):
+    ssd = _drive(ops)
+    _check_invariants(ssd)
+
+
+@settings(max_examples=6, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(st.integers(0, 2 ** 31 - 1))
+def test_gc_pressure_never_loses_pages(seed):
+    """Overwrite a small region far past capacity so GC runs hot."""
+    import random
+    rng = random.Random(seed)
+    region_pages = 320   # most of the tiny device's logical space
+    ops = [(False, rng.randrange(region_pages), rng.randint(1, 8))
+           for _ in range(400)]
+    ssd = _drive(ops)
+    assert ssd.ftl.gc_runs > 0, "workload failed to trigger GC"
+    _check_invariants(ssd)
+
+
+def test_trim_unmaps_and_invalidates():
+    ssd = _drive([(False, 0, 32), (True, 0, 16)])
+    mapping = ssd.ftl.mapping
+    for lpn in range(16):
+        assert mapping.lookup(lpn) == UNMAPPED
+    for lpn in range(16, 32):
+        assert mapping.lookup(lpn) != UNMAPPED
+    _check_invariants(ssd)

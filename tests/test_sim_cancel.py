@@ -1,0 +1,132 @@
+"""Timeout cancellation: lazy tombstones in the event heap.
+
+A cancelled timeout must never fire, must never count toward
+``events_processed`` (the simulation-speed metric golden tests pin), and
+must not require a heap rebuild — the engine drops tombstones lazily
+when they surface at the head of the queue.
+"""
+
+import pytest
+
+from repro.sim import Simulator
+from repro.sim.engine import EmptySchedule
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+class TestCancelBasics:
+    def test_cancelled_timeout_never_fires(self, sim):
+        fired = []
+        timeout = sim.timeout(50)
+        timeout.add_callback(lambda ev: fired.append(sim.now))
+        timeout.cancel()
+        sim.run()
+        assert fired == []
+        assert timeout.cancelled
+        assert not timeout.processed
+
+    def test_cancel_is_idempotent(self, sim):
+        timeout = sim.timeout(10)
+        timeout.cancel()
+        timeout.cancel()
+        sim.run()
+        assert timeout.cancelled
+
+    def test_cancel_after_processing_raises(self, sim):
+        timeout = sim.timeout(10)
+        sim.run()
+        assert timeout.processed
+        with pytest.raises(RuntimeError, match="processed"):
+            timeout.cancel()
+
+    def test_other_events_unaffected(self, sim):
+        order = []
+        doomed = sim.timeout(20)
+        doomed.add_callback(lambda ev: order.append("doomed"))
+        sim.timeout(10).add_callback(lambda ev: order.append("early"))
+        sim.timeout(30).add_callback(lambda ev: order.append("late"))
+        doomed.cancel()
+        sim.run()
+        assert order == ["early", "late"]
+        assert sim.now == 30
+
+
+class TestCancelAccounting:
+    def test_cancel_storm_does_not_grow_events_processed(self, sim):
+        """Regression: tombstones must not inflate the speed metric."""
+        sim.timeout(5)
+        storm = [sim.timeout(i % 97 + 1) for i in range(500)]
+        for timeout in storm:
+            timeout.cancel()
+        sim.timeout(200)
+        sim.run()
+        # only the two live timeouts were processed
+        assert sim.events_processed == 2
+        assert sim.now == 200
+
+    def test_clock_never_advances_to_cancelled_instant(self, sim):
+        last = sim.timeout(10)
+        doomed = sim.timeout(99)
+        doomed.cancel()
+        sim.run()
+        assert sim.now == 10
+        assert last.processed
+
+    def test_waiting_process_is_not_resumed(self, sim):
+        """A process waiting on a cancelled timeout simply never resumes."""
+        reached = []
+
+        def proc():
+            yield sim.timeout(40)
+            reached.append(True)
+
+        process = sim.process(proc())
+        # first step runs the bootstrap; the process parks on the timeout
+        sim.step()
+        process._waiting_on.cancel()
+        sim.run()
+        assert reached == []
+        assert process.is_alive
+
+
+class TestCancelHeapBehaviour:
+    def test_peek_purges_tombstoned_heads(self, sim):
+        head = sim.timeout(1)
+        live = sim.timeout(50)
+        head.cancel()
+        assert sim.peek() == 50
+        sim.run()
+        assert live.processed
+
+    def test_peek_all_cancelled_is_empty(self, sim):
+        for delay in (1, 2, 3):
+            sim.timeout(delay).cancel()
+        assert sim.peek() is None
+
+    def test_step_skips_tombstones_without_counting(self, sim):
+        sim.timeout(1).cancel()
+        sim.timeout(2)
+        sim.step()
+        assert sim.now == 2
+        assert sim.events_processed == 1
+
+    def test_step_on_all_cancelled_raises_empty(self, sim):
+        sim.timeout(1).cancel()
+        with pytest.raises(EmptySchedule):
+            sim.step()
+
+    def test_run_process_skips_tombstones(self, sim):
+        for i in range(20):
+            sim.timeout(i + 1).cancel()
+
+        def proc():
+            yield sim.timeout(100)
+            return "done"
+
+        assert sim.run_process(proc()) == "done"
+        assert sim.now == 100
+        # bootstrap + timeout + process completion
+        assert sim.events_processed == 3
