@@ -5,8 +5,14 @@ Examples::
     # full-size record, compared against the last committed point
     python -m benchmarks.perf --compare BENCH_2026-08-06.json
 
-    # quick smoke record (CI artifact)
-    python -m benchmarks.perf --profile smoke --repeats 1 --out bench.json
+    # quick smoke record (CI artifact), with an HTML telemetry report
+    python -m benchmarks.perf --profile smoke --repeats 1 --out bench.json \\
+        --report bench-report.html
+
+``--trace``/``--metrics``/``--report`` mirror the ``repro.experiments``
+CLI (see ``docs/OBSERVABILITY.md``); observability is armed around the
+scenario runs, so the recorded wall clocks include its overhead — use
+plain runs for trajectory points.
 """
 
 from __future__ import annotations
@@ -18,6 +24,17 @@ from pathlib import Path
 
 from repro.bench.record import load_bench, run_all, write_bench
 from repro.bench.scenarios import PROFILES, SCENARIOS
+from repro.obs import (
+    disable_telemetry,
+    disable_tracing,
+    enable_telemetry,
+    enable_tracing,
+    metric_snapshots,
+    tracers,
+    write_chrome_trace,
+    write_metrics_csv,
+    write_report,
+)
 
 
 def main(argv=None) -> int:
@@ -37,14 +54,47 @@ def main(argv=None) -> int:
                         help="output path (default BENCH_<today>.json)")
     parser.add_argument("--notes", default="",
                         help="free-form note stored with the record")
+    parser.add_argument("--trace", metavar="OUT.json",
+                        help="record spans and write a Chrome trace")
+    parser.add_argument("--metrics", metavar="OUT.csv",
+                        help="dump per-system metric snapshots as CSV")
+    parser.add_argument("--report", metavar="OUT.html",
+                        help="arm telemetry epochs and write a "
+                             "self-contained HTML/Markdown run report")
+    parser.add_argument("--epoch-ns", type=int, default=100_000,
+                        help="telemetry sampling period in simulated ns "
+                             "(used with --report; default 100000)")
     args = parser.parse_args(argv)
 
     date = datetime.date.today().isoformat()
     out = args.out or Path(f"BENCH_{date}.json")
     print(f"recording profile={args.profile} repeats={args.repeats} -> {out}",
           file=sys.stderr)
-    scenarios = run_all(profile=args.profile, repeats=args.repeats,
-                        names=args.scenario, verbose=True)
+    observing = bool(args.trace or args.metrics or args.report)
+    if observing:
+        enable_tracing()
+    if args.report:
+        enable_telemetry(epoch_ns=args.epoch_ns)
+    try:
+        scenarios = run_all(profile=args.profile, repeats=args.repeats,
+                            names=args.scenario, verbose=True)
+        if args.trace:
+            n_events = write_chrome_trace(args.trace, tracers())
+            print(f"  [trace: {n_events} spans -> {args.trace}]",
+                  file=sys.stderr)
+        if args.metrics:
+            rows = write_metrics_csv(args.metrics, metric_snapshots())
+            print(f"  [metrics: {rows} rows -> {args.metrics}]",
+                  file=sys.stderr)
+        if args.report:
+            write_report(args.report,
+                         title=f"benchmarks.perf {args.profile} — run report")
+            print(f"  [report -> {args.report}]", file=sys.stderr)
+    finally:
+        if args.report:
+            disable_telemetry()
+        if observing:
+            disable_tracing()
     baseline = load_bench(args.compare) if args.compare else None
     doc = write_bench(out, scenarios, args.profile, date,
                       baseline=baseline, notes=args.notes)

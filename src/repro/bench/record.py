@@ -16,7 +16,10 @@ from typing import Dict, Iterable, Optional
 
 from repro.bench.scenarios import SCENARIOS, ScenarioResult
 
-SCHEMA_VERSION = 1
+#: 2 added a per-scenario ``latency`` block (p50/p99/mean µs from the
+#: streaming histogram).  Purely additive: version-1 files still load
+#: and compare — readers must tolerate the key's absence.
+SCHEMA_VERSION = 2
 
 
 def run_all(profile: str = "full", repeats: int = 3,
@@ -42,11 +45,17 @@ def run_all(profile: str = "full", repeats: int = 3,
                     f"sim_ns {best.sim_ns} vs {result.sim_ns}")
             if best is None or result.wall_seconds < best.wall_seconds:
                 best = result
-        results[name] = best.to_dict()
+        entry = best.to_dict()
+        if getattr(best, "latency", None):
+            entry["latency"] = dict(best.latency)
+        results[name] = entry
         if verbose:
+            lat = entry.get("latency")
+            tail = (f"  p50 {lat['p50_us']:.1f}us p99 {lat['p99_us']:.1f}us"
+                    if lat else "")
             print(f"  {name:16s} {best.wall_seconds:8.3f}s  "
                   f"{best.events:>9d} events  "
-                  f"{best.events_per_sec:>12,.0f} ev/s", file=sys.stderr)
+                  f"{best.events_per_sec:>12,.0f} ev/s{tail}", file=sys.stderr)
     return results
 
 

@@ -2,59 +2,70 @@
 
 from __future__ import annotations
 
-import math
-from typing import Dict, List, Optional
+from typing import Dict, Optional
 
 from repro.common.units import MB, SEC
+from repro.obs.histogram import LogHistogram
 
 
 class LatencyRecorder:
-    """Collects per-request latencies (ns) and summarizes them."""
+    """Collects per-request latencies (ns) and summarizes them.
+
+    Backed by a streaming :class:`~repro.obs.histogram.LogHistogram`:
+    memory stays bounded no matter how many samples arrive (the seed
+    implementation kept every sample forever and re-sorted per
+    percentile call).  ``count``/``mean``/``min``/``max`` are exact;
+    :meth:`percentile` is a bucket estimate within the histogram's
+    documented relative error (6.25% at the default 16 sub-buckets),
+    which is far below run-to-run workload variance.
+    """
+
+    __slots__ = ("_hist",)
 
     def __init__(self) -> None:
-        self._samples: List[int] = []
+        self._hist = LogHistogram()
 
     def record(self, latency_ns: int) -> None:
         if latency_ns < 0:
             raise ValueError("negative latency")
-        self._samples.append(latency_ns)
+        self._hist.record(latency_ns)
 
     @property
     def count(self) -> int:
-        return len(self._samples)
+        return self._hist.count
+
+    @property
+    def histogram(self) -> LogHistogram:
+        """The backing streaming histogram (mergeable, report-ready)."""
+        return self._hist
 
     def mean(self) -> float:
-        return sum(self._samples) / len(self._samples) if self._samples else 0.0
+        return self._hist.mean()
 
     def mean_us(self) -> float:
         return self.mean() / 1000.0
 
     def percentile(self, p: float) -> int:
-        if not self._samples:
-            return 0
+        """Estimated percentile in ns (see class note on error bounds)."""
         if not 0.0 <= p <= 100.0:
             raise ValueError("percentile must be in [0, 100]")
-        ordered = sorted(self._samples)
-        rank = (p / 100.0) * (len(ordered) - 1)
-        lower = math.floor(rank)
-        upper = math.ceil(rank)
-        if lower == upper:
-            return ordered[lower]
-        frac = rank - lower
-        return round(ordered[lower] * (1 - frac) + ordered[upper] * frac)
+        if self._hist.count == 0:
+            return 0
+        return round(self._hist.percentile(p))
 
     def max(self) -> int:
-        return max(self._samples) if self._samples else 0
+        return self._hist.max
 
     def min(self) -> int:
-        return min(self._samples) if self._samples else 0
+        return self._hist.min
 
     def summary(self) -> Dict[str, float]:
+        p50, p99 = self._hist.percentiles([50, 99])
         return {
             "count": self.count,
             "mean_us": self.mean_us(),
-            "p50_us": self.percentile(50) / 1000.0,
-            "p99_us": self.percentile(99) / 1000.0,
+            "p50_us": p50 / 1000.0,
+            "p99_us": p99 / 1000.0,
             "max_us": self.max() / 1000.0,
         }
 

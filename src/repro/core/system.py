@@ -140,6 +140,13 @@ class FullSystem:
                      lambda: float(self.blocklayer.requests_merged))
         blk.register("dispatched",
                      lambda: float(self.blocklayer.requests_dispatched))
+        blk.register("inflight", lambda: float(self.blocklayer.inflight))
+        blk.register("queued", lambda: float(len(self.blocklayer.scheduler)))
+        if self.interface == "nvme":
+            nvme = reg.scoped("nvme")
+            nvme.register("sq.depth", lambda: float(self.adapter.sq_depth()))
+            nvme.register("outstanding",
+                          lambda: float(self.adapter.outstanding()))
         dev = reg.scoped("ssd")
         dev.register("hil.fetched",
                      lambda: float(self.ssd.hil.commands_fetched))
@@ -148,13 +155,22 @@ class FullSystem:
         dev.register("icl.hit_rate", self.ssd.icl.hit_rate)
         dev.register("icl.lines_flushed",
                      lambda: float(self.ssd.icl.lines_flushed))
+        dev.register("icl.dirty_lines",
+                     lambda: float(self.ssd.icl.dirty_line_count()))
         dev.register("ftl.gc_runs", lambda: float(self.ssd.ftl.gc_runs))
+        dev.register("ftl.gc_active", lambda: float(self.ssd.ftl.gc_active))
+        dev.register("ftl.gc_pages_migrated",
+                     lambda: float(self.ssd.ftl.gc_pages_migrated))
         dev.register("ftl.write_amplification",
                      self.ssd.ftl.write_amplification)
         sim_scope = reg.scoped("sim")
         sim_scope.register("events_processed",
                            lambda: float(self.sim.events_processed))
         sim_scope.register("now_ns", lambda: float(self.sim.now))
+        # telemetry (when armed) samples this registry every epoch
+        probe = self.sim.telemetry
+        if probe is not None:
+            probe.bind_registry(reg, label=f"{probe.label}-{self.interface}")
 
     # -- properties --------------------------------------------------------------
 

@@ -11,7 +11,10 @@ Usage::
 simulated time) and writes Chrome ``trace_event`` JSON loadable at
 https://ui.perfetto.dev, plus a per-span-kind latency breakdown on
 stdout.  ``--metrics`` dumps each system's end-of-run metric snapshot
-as CSV.  See ``docs/OBSERVABILITY.md``.
+as CSV.  ``--report`` arms telemetry epochs (and tracing) and renders
+time-series, latency histograms and the span breakdown into one
+self-contained HTML or Markdown artifact; ``--epoch-ns`` tunes the
+sampling period.  See ``docs/OBSERVABILITY.md``.
 """
 
 from __future__ import annotations
@@ -22,7 +25,9 @@ import sys
 import time
 
 from repro.obs import (
+    disable_telemetry,
     disable_tracing,
+    enable_telemetry,
     enable_tracing,
     format_breakdown,
     latency_breakdown,
@@ -31,6 +36,7 @@ from repro.obs import (
     tracers,
     write_chrome_trace,
     write_metrics_csv,
+    write_report,
 )
 
 EXPERIMENTS = {
@@ -45,6 +51,20 @@ EXPERIMENTS = {
     "fig15": "repro.experiments.fig15_passive_active",
     "fig16": "repro.experiments.fig16_simspeed",
 }
+
+
+def resolve_experiment(name: str):
+    """Map a CLI name to an ``EXPERIMENTS`` key.
+
+    Accepts the short key (``fig12``) or the module-style name
+    (``fig12_os_impact``); returns ``None`` when neither matches.
+    """
+    if name in EXPERIMENTS:
+        return name
+    for key, module in EXPERIMENTS.items():
+        if module.rsplit(".", 1)[-1] == name:
+            return key
+    return None
 
 
 def main(argv=None) -> int:
@@ -62,6 +82,12 @@ def main(argv=None) -> int:
                              "(open at https://ui.perfetto.dev)")
     parser.add_argument("--metrics", metavar="OUT.csv",
                         help="dump per-system metric snapshots as CSV")
+    parser.add_argument("--report", metavar="OUT.html",
+                        help="arm telemetry epochs and write a "
+                             "self-contained HTML/Markdown run report")
+    parser.add_argument("--epoch-ns", type=int, default=100_000,
+                        help="telemetry sampling period in simulated ns "
+                             "(used with --report; default 100000)")
     args = parser.parse_args(argv)
 
     if args.list or not args.experiment:
@@ -69,14 +95,18 @@ def main(argv=None) -> int:
             print(f"{name:<10} {module}")
         return 0
 
-    if args.experiment not in EXPERIMENTS:
+    experiment = resolve_experiment(args.experiment)
+    if experiment is None:
         parser.error(f"unknown experiment {args.experiment!r}; "
                      f"choose from {', '.join(EXPERIMENTS)}")
+    args.experiment = experiment
 
     module = importlib.import_module(EXPERIMENTS[args.experiment])
-    observing = bool(args.trace or args.metrics)
+    observing = bool(args.trace or args.metrics or args.report)
     if observing:
         enable_tracing()
+    if args.report:
+        enable_telemetry(epoch_ns=args.epoch_ns)
     try:
         started = time.perf_counter()
         result = module.run(quick=not args.full)
@@ -94,7 +124,13 @@ def main(argv=None) -> int:
         if args.metrics:
             rows = write_metrics_csv(args.metrics, metric_snapshots())
             print(f"\n[metrics: {rows} rows -> {args.metrics}]")
+        if args.report:
+            write_report(args.report,
+                         title=f"{EXPERIMENTS[args.experiment]} — run report")
+            print(f"\n[report -> {args.report}]")
     finally:
+        if args.report:
+            disable_telemetry()
         if observing:
             disable_tracing()
     print(f"\n[{args.experiment} finished in {elapsed:.1f}s "

@@ -58,6 +58,16 @@ class NvmeDriver(HostAdapter):
         ring_bytes = (n_io_queues + 1) * queue_depth * (SQE_BYTES + CQE_BYTES)
         memory.allocate("nvme-driver", ring_bytes + 2 * 1024 * 1024)
 
+    # -- introspection --------------------------------------------------------
+
+    def sq_depth(self) -> int:
+        """Entries currently occupying the I/O submission queues (telemetry)."""
+        return sum(qp.sq.occupancy for qp in self.qpairs.values())
+
+    def outstanding(self) -> int:
+        """Commands issued to the device and not yet reaped via a CQE."""
+        return len(self._completions)
+
     # -- admin ----------------------------------------------------------------
 
     def attach_controller(self, controller) -> None:

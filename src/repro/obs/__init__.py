@@ -12,19 +12,33 @@ Two substrates, documented in detail in ``docs/OBSERVABILITY.md``:
   ``TimeAverage`` and ``UtilizationTracker`` instruments, exportable
   as CSV.
 
-Tracing is off by default and zero-cost when off: simulators carry the
-shared :data:`NULL_TRACER` until :func:`repro.obs.runtime.enable_tracing`
-is called (e.g. by ``python -m repro.experiments <fig> --trace out.json``).
+A third substrate, **telemetry epochs** (:mod:`repro.obs.telemetry`),
+samples every registered metric into bounded
+:class:`~repro.obs.timeseries.TimeSeries` at a fixed simulated-time
+period, keeps a :class:`~repro.obs.flightrec.FlightRecorder` ring of
+recent events (dumped to JSON on failure), and feeds the self-contained
+HTML/Markdown reports of :mod:`repro.obs.report`
+(``python -m repro.experiments <fig> --report out.html``).
+
+Tracing and telemetry are off by default and zero-cost when off:
+simulators carry the shared :data:`NULL_TRACER` and a ``None`` probe
+until :func:`repro.obs.runtime.enable_tracing` /
+:func:`repro.obs.telemetry.enable_telemetry` are called (e.g. by
+``python -m repro.experiments <fig> --trace out.json --report out.html``).
 """
 
 from repro.obs.export import (
     chrome_trace,
     format_breakdown,
     latency_breakdown,
+    span_histograms,
     write_chrome_trace,
     write_metrics_csv,
 )
+from repro.obs.flightrec import FlightRecorder
+from repro.obs.histogram import LogHistogram
 from repro.obs.metrics import Counter, Gauge, MetricsRegistry, ScopedRegistry
+from repro.obs.report import gather, render_html, render_markdown, write_report
 from repro.obs.runtime import (
     collect_metrics,
     disable_tracing,
@@ -35,6 +49,16 @@ from repro.obs.runtime import (
     tracers,
     tracing_enabled,
 )
+from repro.obs.telemetry import (
+    TelemetryProbe,
+    disable_telemetry,
+    enable_telemetry,
+    label_latest_probe,
+    probe_for,
+    probes,
+    telemetry_enabled,
+)
+from repro.obs.timeseries import TimeSeries, sparkline
 from repro.obs.tracer import (
     NULL_SPAN_CONTEXT,
     NULL_TRACER,
@@ -68,4 +92,20 @@ __all__ = [
     "tracer_for",
     "tracers",
     "tracing_enabled",
+    "FlightRecorder",
+    "LogHistogram",
+    "TelemetryProbe",
+    "TimeSeries",
+    "disable_telemetry",
+    "enable_telemetry",
+    "gather",
+    "label_latest_probe",
+    "probe_for",
+    "probes",
+    "render_html",
+    "render_markdown",
+    "span_histograms",
+    "sparkline",
+    "telemetry_enabled",
+    "write_report",
 ]

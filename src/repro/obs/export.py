@@ -19,9 +19,10 @@ microseconds, so timestamps are exported as fractional µs.
 from __future__ import annotations
 
 import json
-import math
 from typing import Dict, Iterable, List, Sequence, Tuple
 
+from repro.common.stats import percentile_sorted
+from repro.obs.histogram import LogHistogram
 from repro.obs.tracer import Span, Tracer
 
 
@@ -70,24 +71,14 @@ def write_chrome_trace(path: str, tracers: Sequence[Tracer]) -> int:
     return sum(1 for ev in trace["traceEvents"] if ev["ph"] == "X")
 
 
-def _percentile(ordered: List[int], p: float) -> float:
-    """Linear-interpolated percentile of a pre-sorted sample list."""
-    if not ordered:
-        return 0.0
-    rank = (p / 100.0) * (len(ordered) - 1)
-    lower = math.floor(rank)
-    upper = math.ceil(rank)
-    if lower == upper:
-        return float(ordered[lower])
-    frac = rank - lower
-    return ordered[lower] * (1 - frac) + ordered[upper] * frac
-
-
 def latency_breakdown(spans: Iterable[Span]) -> Dict[str, Dict[str, float]]:
     """Per-span-kind latency summary (durations in µs).
 
     Returns ``{kind: {count, mean_us, p50_us, p95_us, p99_us, max_us}}``
-    over every *closed* span, sorted by kind.
+    over every *closed* span, sorted by kind.  Each kind's durations are
+    sorted exactly once; every percentile is read off that one ordered
+    list through the shared :func:`~repro.common.stats.percentile_sorted`
+    helper.
     """
     by_kind: Dict[str, List[int]] = {}
     for span in spans:
@@ -99,12 +90,30 @@ def latency_breakdown(spans: Iterable[Span]) -> Dict[str, Dict[str, float]]:
         out[kind] = {
             "count": len(durations),
             "mean_us": sum(durations) / len(durations) / 1000.0,
-            "p50_us": _percentile(durations, 50) / 1000.0,
-            "p95_us": _percentile(durations, 95) / 1000.0,
-            "p99_us": _percentile(durations, 99) / 1000.0,
+            "p50_us": percentile_sorted(durations, 50) / 1000.0,
+            "p95_us": percentile_sorted(durations, 95) / 1000.0,
+            "p99_us": percentile_sorted(durations, 99) / 1000.0,
             "max_us": durations[-1] / 1000.0,
         }
     return out
+
+
+def span_histograms(spans: Iterable[Span],
+                    subbuckets: int = 16) -> Dict[str, LogHistogram]:
+    """Per-span-kind streaming histograms over closed-span durations.
+
+    The report generator renders these as per-layer latency histograms;
+    unlike :func:`latency_breakdown` the result is mergeable and keeps
+    no raw samples.
+    """
+    by_kind: Dict[str, LogHistogram] = {}
+    for span in spans:
+        if span.t_end is not None and span.kind != "null":
+            hist = by_kind.get(span.kind)
+            if hist is None:
+                hist = by_kind[span.kind] = LogHistogram(subbuckets)
+            hist.record(span.duration)
+    return by_kind
 
 
 def format_breakdown(breakdown: Dict[str, Dict[str, float]]) -> str:

@@ -1,0 +1,201 @@
+"""Streaming log-bucketed latency histograms.
+
+A :class:`LogHistogram` summarizes an unbounded stream of non-negative
+integer samples (latencies in ns) in O(1) time and bounded memory, in
+the style of HdrHistogram: each power-of-two octave is split into
+``subbuckets`` linear buckets, so the bucket holding a sample is never
+wider than ``value / subbuckets``.  Percentile estimates are therefore
+within a relative error of ``1 / subbuckets`` of the exact
+order-statistic answer (6.25% at the default 16 sub-buckets), while
+``count``/``sum``/``min``/``max`` — and hence the mean — stay exact.
+
+Histograms are mergeable (:meth:`merge`), which is what lets per-epoch
+or per-system histograms aggregate into one report without keeping any
+raw samples around.
+
+Bucket layout (``S = subbuckets``, a power of two):
+
+* values ``v < S`` get their own width-1 bucket (``index = v``), so
+  small latencies are exact;
+* values ``v >= S`` with ``e = v.bit_length() - 1`` land in
+  ``index = (e - log2(S) + 1) * S + ((v >> (e - log2(S))) - S)``,
+  a width ``2**(e - log2(S))`` bucket.
+
+The index math is a few integer ops per :meth:`record` — no search, no
+allocation beyond a dict slot per occupied bucket (at most ~``64 * S``
+slots for 64-bit values, in practice a few dozen).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+
+class LogHistogram:
+    """O(1)-record, mergeable, log-bucketed histogram of ints >= 0."""
+
+    __slots__ = ("subbuckets", "_sub_bits", "_counts", "count", "total",
+                 "min", "max")
+
+    def __init__(self, subbuckets: int = 16) -> None:
+        if subbuckets < 2 or subbuckets & (subbuckets - 1):
+            raise ValueError("subbuckets must be a power of two >= 2")
+        self.subbuckets = subbuckets
+        self._sub_bits = subbuckets.bit_length() - 1
+        self._counts: Dict[int, int] = {}
+        self.count = 0
+        self.total = 0
+        self.min = 0
+        self.max = 0
+
+    # -- recording --------------------------------------------------------
+
+    def _index_of(self, value: int) -> int:
+        if value < self.subbuckets:
+            return value
+        exp = value.bit_length() - 1
+        shift = exp - self._sub_bits
+        return (shift + 1) * self.subbuckets + ((value >> shift)
+                                                - self.subbuckets)
+
+    def _bounds_of(self, index: int) -> Tuple[int, int]:
+        """[lo, hi) bounds of one bucket index."""
+        if index < self.subbuckets:
+            return index, index + 1
+        shift = index // self.subbuckets - 1
+        j = index % self.subbuckets
+        lo = (self.subbuckets + j) << shift
+        return lo, lo + (1 << shift)
+
+    def record(self, value: int) -> None:
+        """Add one sample; O(1), no allocation beyond the bucket slot."""
+        value = int(value)
+        if value < 0:
+            raise ValueError("negative sample")
+        index = self._index_of(value)
+        counts = self._counts
+        counts[index] = counts.get(index, 0) + 1
+        if self.count == 0:
+            self.min = value
+            self.max = value
+        else:
+            if value < self.min:
+                self.min = value
+            if value > self.max:
+                self.max = value
+        self.count += 1
+        self.total += value
+
+    def merge(self, other: "LogHistogram") -> None:
+        """Fold ``other``'s samples into this histogram (same layout)."""
+        if other.subbuckets != self.subbuckets:
+            raise ValueError("cannot merge histograms with different "
+                             "sub-bucket counts")
+        if other.count == 0:
+            return
+        counts = self._counts
+        for index, n in other._counts.items():
+            counts[index] = counts.get(index, 0) + n
+        if self.count == 0:
+            self.min, self.max = other.min, other.max
+        else:
+            self.min = min(self.min, other.min)
+            self.max = max(self.max, other.max)
+        self.count += other.count
+        self.total += other.total
+
+    # -- summary ----------------------------------------------------------
+
+    @property
+    def relative_error(self) -> float:
+        """Worst-case relative error of a percentile estimate."""
+        return 1.0 / self.subbuckets
+
+    def mean(self) -> float:
+        """Exact mean of all recorded samples."""
+        return self.total / self.count if self.count else 0.0
+
+    def _value_at_rank(self, rank: int, ordered: Sequence[int],
+                      cumulative: Sequence[int]) -> float:
+        """Estimated value of the ``rank``-th order statistic (0-based)."""
+        before = 0
+        for index, cum in zip(ordered, cumulative):
+            if rank < cum:
+                lo, hi = self._bounds_of(index)
+                in_bucket = cum - before
+                # samples assumed uniform across the bucket
+                frac = (rank - before + 0.5) / in_bucket
+                return lo + frac * (hi - lo)
+            before = cum
+        return float(self.max)
+
+    def percentile(self, p: float) -> float:
+        """Estimated percentile; within ``relative_error`` of exact."""
+        return self.percentiles([p])[0]
+
+    def percentiles(self, ps: Sequence[float]) -> List[float]:
+        """Several percentile estimates sharing one bucket walk."""
+        for p in ps:
+            if not 0.0 <= p <= 100.0:
+                raise ValueError("percentile must be in [0, 100]")
+        if self.count == 0:
+            return [0.0 for _ in ps]
+        ordered = sorted(self._counts)
+        cumulative: List[int] = []
+        running = 0
+        for index in ordered:
+            running += self._counts[index]
+            cumulative.append(running)
+        out: List[float] = []
+        for p in ps:
+            rank = (p / 100.0) * (self.count - 1)
+            lower = int(rank)
+            low_v = self._value_at_rank(lower, ordered, cumulative)
+            if lower == rank:
+                value = low_v
+            else:
+                high_v = self._value_at_rank(lower + 1, ordered, cumulative)
+                frac = rank - lower
+                value = low_v * (1 - frac) + high_v * frac
+            # exact extremes bound every estimate
+            out.append(min(max(value, float(self.min)), float(self.max)))
+        return out
+
+    # -- iteration / serialization ----------------------------------------
+
+    def buckets(self) -> Iterator[Tuple[int, int, int]]:
+        """Occupied buckets as ``(lo, hi, count)``, ascending."""
+        for index in sorted(self._counts):
+            lo, hi = self._bounds_of(index)
+            yield lo, hi, self._counts[index]
+
+    def summary(self, scale: float = 1.0) -> Dict[str, float]:
+        """count/mean/p50/p95/p99/min/max dict, values scaled by ``scale``."""
+        p50, p95, p99 = self.percentiles([50, 95, 99])
+        return {
+            "count": float(self.count),
+            "mean": self.mean() * scale,
+            "p50": p50 * scale,
+            "p95": p95 * scale,
+            "p99": p99 * scale,
+            "min": self.min * scale,
+            "max": self.max * scale,
+        }
+
+    def to_dict(self) -> Dict:
+        """JSON-ready encoding (flight-recorder dumps, reports)."""
+        return {
+            "subbuckets": self.subbuckets,
+            "count": self.count,
+            "total": self.total,
+            "min": self.min,
+            "max": self.max,
+            "buckets": [[lo, hi, n] for lo, hi, n in self.buckets()],
+        }
+
+    def __len__(self) -> int:
+        return self.count
+
+    def __repr__(self) -> str:
+        return (f"LogHistogram(count={self.count}, min={self.min}, "
+                f"max={self.max}, buckets={len(self._counts)})")

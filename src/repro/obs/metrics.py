@@ -141,6 +141,16 @@ class MetricsRegistry:
         return {name: _read(self._sources[name])
                 for name in self.names(prefix)}
 
+    def readers(self) -> List[tuple]:
+        """Stable ``(name, read_callable)`` pairs, sorted by name.
+
+        Periodic samplers (the telemetry epoch probe) bind this list
+        once instead of re-sorting names and re-dispatching by duck
+        type on every epoch.
+        """
+        return [(name, (lambda source=source: _read(source)))
+                for name, source in sorted(self._sources.items())]
+
     def to_csv(self, prefix: str = "") -> str:
         """Render a snapshot as ``metric,value`` CSV text."""
         lines = ["metric,value"]

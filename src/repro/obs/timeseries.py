@@ -1,0 +1,106 @@
+"""Bounded time-series storage for epoch telemetry samples.
+
+A :class:`TimeSeries` is a memory-bounded sequence of ``(t_ns, value)``
+samples.  When the buffer fills it *decimates* deterministically: every
+second retained point is dropped and the acceptance stride doubles, so
+an arbitrarily long run always keeps at most ``max_points`` samples
+spread evenly across its whole duration (old points thin out, they are
+never silently truncated from one end).  The same input stream always
+produces the same retained points — determinism the epoch tests pin.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+
+class TimeSeries:
+    """Append-only, bounded, deterministically-decimated series."""
+
+    __slots__ = ("name", "max_points", "_t", "_v", "_stride", "_arrivals",
+                 "last_t", "last_value", "total_appends")
+
+    def __init__(self, name: str, max_points: int = 512) -> None:
+        if max_points < 4:
+            raise ValueError("max_points must be >= 4")
+        self.name = name
+        self.max_points = max_points
+        self._t: List[int] = []
+        self._v: List[float] = []
+        self._stride = 1
+        self._arrivals = 0
+        self.last_t = 0
+        self.last_value = 0.0
+        self.total_appends = 0
+
+    def append(self, t_ns: int, value: float) -> None:
+        """Record one sample; O(1) amortized, bounded memory."""
+        self.total_appends += 1
+        self.last_t = t_ns
+        self.last_value = value
+        keep = self._arrivals % self._stride == 0
+        self._arrivals += 1
+        if not keep:
+            return
+        self._t.append(t_ns)
+        self._v.append(value)
+        if len(self._t) >= self.max_points:
+            # halve resolution: drop every second retained point
+            self._t = self._t[::2]
+            self._v = self._v[::2]
+            self._stride *= 2
+
+    def points(self) -> List[Tuple[int, float]]:
+        """Retained ``(t_ns, value)`` samples, oldest first."""
+        return list(zip(self._t, self._v))
+
+    def values(self) -> List[float]:
+        """Retained values only, oldest first."""
+        return list(self._v)
+
+    def minimum(self) -> float:
+        """Smallest retained value (0.0 when empty)."""
+        return min(self._v) if self._v else 0.0
+
+    def maximum(self) -> float:
+        """Largest retained value (0.0 when empty)."""
+        return max(self._v) if self._v else 0.0
+
+    def __len__(self) -> int:
+        return len(self._t)
+
+    def to_dict(self) -> Dict:
+        """JSON-ready encoding for flight dumps and reports."""
+        return {
+            "name": self.name,
+            "stride": self._stride,
+            "total_appends": self.total_appends,
+            "points": [[t, v] for t, v in zip(self._t, self._v)],
+        }
+
+    def __repr__(self) -> str:
+        return (f"TimeSeries({self.name!r}, kept={len(self._t)}, "
+                f"stride={self._stride})")
+
+
+def sparkline(values: List[float], width: int = 32) -> str:
+    """Render values as a unicode block sparkline (``▁▂▃▄▅▆▇█``).
+
+    Resamples to at most ``width`` characters; a flat series renders as
+    a run of the lowest block so constant gauges stay visually quiet.
+    """
+    blocks = "▁▂▃▄▅▆▇█"
+    if not values:
+        return ""
+    if len(values) > width:
+        # pick evenly spaced representatives (deterministic)
+        step = len(values) / width
+        values = [values[int(i * step)] for i in range(width)]
+    lo = min(values)
+    hi = max(values)
+    span = hi - lo
+    if span <= 0:
+        return blocks[0] * len(values)
+    return "".join(blocks[min(len(blocks) - 1,
+                              int((v - lo) / span * len(blocks)))]
+                   for v in values)

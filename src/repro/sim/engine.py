@@ -15,6 +15,7 @@ from itertools import count
 from typing import Any, Iterator, Optional
 
 from repro.obs.runtime import tracer_for
+from repro.obs.telemetry import probe_for
 from repro.sim.events import AllOf, AnyOf, Event, Timeout
 from repro.sim.process import Process
 
@@ -39,6 +40,14 @@ class Simulator:
     shared no-op ``NULL_TRACER`` by default, or a live span recorder when
     process-wide tracing is enabled.  Spans record simulated time only
     and never schedule events, so tracing cannot perturb results.
+
+    It likewise carries a ``telemetry`` probe (``None`` by default, live
+    when :func:`repro.obs.telemetry.enable_telemetry` was called): the
+    loop hands it each processed event so it can flight-record and take
+    epoch samples.  The probe only *observes* — it schedules nothing —
+    so even enabled telemetry changes neither ``events_processed`` nor
+    any simulated result; disabled, it costs one ``is None`` test per
+    event.
     """
 
     def __init__(self) -> None:
@@ -48,14 +57,22 @@ class Simulator:
         self._event_count: int = 0
         self._orphan_failures: list = []
         self.tracer = tracer_for(self)
+        self.telemetry = probe_for(self)
 
     def _record_orphan_failure(self, event) -> None:
         self._orphan_failures.append(event)
 
+    def _notify_failure(self, error: BaseException) -> None:
+        """Hand a run failure to the telemetry probe (post-mortem dump)."""
+        if self.telemetry is not None:
+            self.telemetry.on_failure(error)
+
     def check_orphan_failures(self) -> None:
         """Raise the first failure of a process nobody waited on."""
         if self._orphan_failures:
-            raise self._orphan_failures[0].value
+            error = self._orphan_failures[0].value
+            self._notify_failure(error)
+            raise error
 
     @property
     def now(self) -> int:
@@ -122,12 +139,15 @@ class Simulator:
     def step(self) -> None:
         """Process exactly one live event (skipping tombstones)."""
         queue = self._queue
+        telemetry = self.telemetry
         while queue:
             when, _seq, event = heapq.heappop(queue)
             if event._cancelled:
                 continue
             self._now = when
             self._event_count += 1
+            if telemetry is not None:
+                telemetry.on_event(when, event)
             event._process()
             return
         raise EmptySchedule()
@@ -140,6 +160,7 @@ class Simulator:
         queue = self._queue
         pop = heapq.heappop
         record_orphan = self._record_orphan_failure
+        telemetry = self.telemetry
         while queue:
             if until is not None and queue[0][0] > until:
                 self._now = until
@@ -149,6 +170,8 @@ class Simulator:
                 continue
             self._now = when
             self._event_count += 1
+            if telemetry is not None:
+                telemetry.on_event(when, event)
             event._processed = True
             callbacks, event.callbacks = event.callbacks, None
             if not event._ok and not callbacks:
@@ -177,6 +200,7 @@ class Simulator:
         queue = self._queue
         pop = heapq.heappop
         record_orphan = self._record_orphan_failure
+        telemetry = self.telemetry
         while not proc._processed and queue:
             if until is not None and queue[0][0] > until:
                 break
@@ -185,6 +209,8 @@ class Simulator:
                 continue
             self._now = when
             self._event_count += 1
+            if telemetry is not None:
+                telemetry.on_event(when, event)
             event._processed = True
             callbacks, event.callbacks = event.callbacks, None
             if not event._ok and not callbacks:
@@ -195,8 +221,12 @@ class Simulator:
             if until is not None and self._now < until:
                 self._now = until
             self.check_orphan_failures()
-            raise RuntimeError("process did not complete"
-                               + ("" if until is None else " before the deadline"))
+            error = RuntimeError("process did not complete"
+                                 + ("" if until is None
+                                    else " before the deadline"))
+            self._notify_failure(error)
+            raise error
         if not proc._ok:
+            self._notify_failure(proc._value)
             raise proc._value
         return proc._value

@@ -56,6 +56,7 @@ class FlashTranslationLayer:
         self.host_pages_written = 0
         self.gc_pages_migrated = 0
         self.gc_runs = 0
+        self.gc_active = 0  # collections in flight (telemetry gauge)
         self.wl_swaps = 0
         self.trimmed_pages = 0
         self.retired_blocks = 0
@@ -240,11 +241,15 @@ class FlashTranslationLayer:
                 victim = swap
                 self.wl_swaps += 1
             self.gc_runs += 1
-            # GC always traces on the background lane (track 0): the host
-            # write that tripped it stalls on the unit lock, visible as a
-            # gap in its own spans overlapping this one
-            with self.sim.tracer.span("ftl.gc", 0, unit=unit, block=victim):
-                yield from self._migrate_and_erase(unit, victim)
+            self.gc_active += 1
+            try:
+                # GC always traces on the background lane (track 0): the host
+                # write that tripped it stalls on the unit lock, visible as a
+                # gap in its own spans overlapping this one
+                with self.sim.tracer.span("ftl.gc", 0, unit=unit, block=victim):
+                    yield from self._migrate_and_erase(unit, victim)
+            finally:
+                self.gc_active -= 1
             return True
         finally:
             self._unit_locks[unit].release()

@@ -93,6 +93,8 @@ class FlashBackend:
         scope = registry.scoped(prefix)
         for i, channel in enumerate(self._channels):
             scope.register(f"channel{i}.util", channel.utilization)
+            scope.register(f"channel{i}.busy_ns",
+                           channel.busy_time)
         for i, die in enumerate(self._dies):
             scope.register(f"die{i}.util", die.utilization)
         scope.register("flash.reads", lambda: float(self.reads_issued))

@@ -153,7 +153,23 @@ class TestLatencyRecorder:
         recorder = LatencyRecorder()
         for value in (0, 1000):
             recorder.record(value)
-        assert recorder.percentile(50) == 500
+        # The streaming histogram interpolates between buckets; its
+        # estimate stays within the documented bucket error of the
+        # exact midpoint (500) relative to the max sample.
+        estimate = recorder.percentile(50)
+        assert abs(estimate - 500) <= recorder.histogram.relative_error * 1000
+
+    def test_exact_extremes_and_mean(self):
+        recorder = LatencyRecorder()
+        for value in (3, 17, 90_000, 1_000_000):
+            recorder.record(value)
+        assert recorder.count == 4
+        assert recorder.min() == 3
+        assert recorder.max() == 1_000_000
+        assert recorder.mean() == pytest.approx(1_090_020 / 4)
+        # percentiles never escape the exact [min, max] envelope
+        assert recorder.percentile(0) >= 3
+        assert recorder.percentile(100) <= 1_000_000
 
     def test_summary_keys(self):
         recorder = LatencyRecorder()
