@@ -1,0 +1,89 @@
+"""CLI for the simulation-safety analyzer.
+
+Usage::
+
+    python -m repro.analysis lint [PATH ...] [--json] [--show-suppressed]
+    python -m repro.analysis rules
+
+``lint`` exits 0 when every finding is suppressed (each suppression must
+carry a reason), 1 otherwise — CI gates on exactly this
+(docs/ANALYSIS.md).  With no paths it lints ``src/repro`` relative to
+the current directory, falling back to the installed package location.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import List, Optional
+
+from repro.analysis.findings import FindingSet
+from repro.analysis.registry import all_rules, lint_paths
+
+
+def _default_paths() -> List[str]:
+    candidate = os.path.join("src", "repro")
+    if os.path.isdir(candidate):
+        return [candidate]
+    import repro
+    return [os.path.dirname(os.path.abspath(repro.__file__))]
+
+
+def _print_text(result: FindingSet, show_suppressed: bool) -> None:
+    for finding in result.findings:
+        if finding.suppressed and not show_suppressed:
+            continue
+        print(finding.format())
+    counts = result.by_rule()
+    if counts:
+        summary = ", ".join(f"{rule_id}: {n}"
+                            for rule_id, n in sorted(counts.items()))
+        print(f"simlint: {len(result.unsuppressed)} finding(s) ({summary}), "
+              f"{len(result.suppressed)} suppressed", file=sys.stderr)
+    else:
+        print(f"simlint: clean ({len(result.suppressed)} suppressed "
+              "finding(s) with documented reasons)", file=sys.stderr)
+
+
+def _print_json(result: FindingSet) -> None:
+    doc = [{"rule": f.rule, "path": f.path, "line": f.line, "col": f.col,
+            "message": f.message, "suppressed": f.suppressed,
+            "reason": f.reason} for f in result.findings]
+    json.dump(doc, sys.stdout, indent=1, sort_keys=True)
+    print()
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="simlint: simulation-safety static analysis")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    lint = sub.add_parser("lint", help="lint files or directories")
+    lint.add_argument("paths", nargs="*", help="files/dirs (default src/repro)")
+    lint.add_argument("--json", action="store_true", dest="as_json",
+                      help="machine-readable output")
+    lint.add_argument("--show-suppressed", action="store_true",
+                      help="also print suppressed findings")
+
+    sub.add_parser("rules", help="list every rule with its rationale")
+
+    args = parser.parse_args(argv)
+    if args.command == "rules":
+        for rule in all_rules():
+            print(f"{rule.id} {rule.name}")
+            print(f"    {rule.rationale}")
+        return 0
+
+    result = lint_paths(args.paths or _default_paths())
+    if args.as_json:
+        _print_json(result)
+    else:
+        _print_text(result, args.show_suppressed)
+    return result.exit_code()
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,248 @@
+"""Clone-consistency check for the engine's inlined hot loops (SIM108).
+
+``repro.sim.engine`` deliberately keeps three copies of the
+pop-and-process event-loop body — ``Simulator.step`` (which delegates
+the processing half to ``Event._process``), ``Simulator.run`` and
+``Simulator.run_process`` (which inline it) — because the loop runs
+hundreds of thousands of times per benchmark and locals beat attribute
+lookups.  The docstrings have always warned "all three copies must stay
+semantically identical"; this module makes the warning executable.
+
+The approach is *normalize and diff*:
+
+1. every loop body is rewritten into a canonical form — preamble
+   aliases (``queue = self._queue``, ``pop = heapq.heappop``, …) and a
+   fixed local-name table map to placeholder names, and
+   ``event._process()`` is expanded to the canonical body of
+   ``Event._process`` from ``events.py``;
+2. per-entry-point variants that are *allowed* to differ (the
+   ``until`` deadline guard, ``step``'s trailing ``return``) are
+   stripped;
+3. what remains must be statement-for-statement identical across the
+   three clones, with ``step`` (+ the expanded ``Event._process``) as
+   the reference.
+
+Any other difference — a reordered counter, a dropped telemetry hook, a
+new statement added to only one copy — is reported as a divergence with
+the expected and actual statement text.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+#: fixed canonical names for the loop locals every clone shares
+_BASE_RENAMES = {
+    "self": "SELF",
+    "event": "EVENT",
+    "when": "WHEN",
+    "_seq": "SEQ",
+    "callbacks": "CALLBACKS",
+    "callback": "CALLBACK",
+}
+
+#: canonical attribute accesses on the simulator -> placeholder locals
+_SELF_ATTR_CANON = {
+    "_queue": "QUEUE",
+    "telemetry": "TELEMETRY",
+    "sanitizer": "SANITIZER",
+    "_record_orphan_failure": "ORPHAN_FN",
+}
+
+#: the loop entry points that carry a clone of the event-processing body
+CLONE_METHODS = ("step", "run", "run_process")
+
+
+@dataclass(frozen=True)
+class CloneDivergence:
+    """One semantic difference between a clone and the reference body."""
+
+    method: str
+    lineno: int
+    message: str
+
+
+class _Canonicalize(ast.NodeTransformer):
+    """Rewrite one statement into the canonical placeholder form."""
+
+    def __init__(self, renames: Dict[str, str], self_name: str) -> None:
+        self.renames = renames
+        self.self_name = self_name
+
+    def visit_Attribute(self, node: ast.Attribute) -> ast.AST:
+        # self.<known attr>  ->  placeholder Name
+        if isinstance(node.value, ast.Name) and \
+                node.value.id == self.self_name and \
+                node.attr in _SELF_ATTR_CANON:
+            return ast.copy_location(
+                ast.Name(id=_SELF_ATTR_CANON[node.attr], ctx=node.ctx), node)
+        # heapq.heappop -> POP
+        if isinstance(node.value, ast.Name) and node.value.id == "heapq" \
+                and node.attr == "heappop":
+            return ast.copy_location(ast.Name(id="POP", ctx=node.ctx), node)
+        # event.sim._record_orphan_failure (Event._process form) -> ORPHAN_FN
+        if node.attr == "_record_orphan_failure" and \
+                isinstance(node.value, ast.Attribute) and \
+                node.value.attr == "sim" and \
+                isinstance(node.value.value, ast.Name) and \
+                node.value.value.id == self.self_name:
+            return ast.copy_location(ast.Name(id="ORPHAN_FN", ctx=node.ctx),
+                                     node)
+        return self.generic_visit(node)
+
+    def visit_Name(self, node: ast.Name) -> ast.AST:
+        new = self.renames.get(node.id)
+        if new is not None:
+            return ast.copy_location(ast.Name(id=new, ctx=node.ctx), node)
+        return node
+
+
+def _canon_stmt(stmt: ast.stmt, renames: Dict[str, str],
+                self_name: str = "self") -> str:
+    tree = ast.parse(ast.unparse(stmt))  # private copy; transform freely
+    tree = _Canonicalize(renames, self_name).visit(tree)
+    ast.fix_missing_locations(tree)
+    return ast.unparse(tree)
+
+
+def _method(cls: ast.ClassDef, name: str) -> Optional[ast.FunctionDef]:
+    for node in cls.body:
+        if isinstance(node, ast.FunctionDef) and node.name == name:
+            return node
+    return None
+
+
+def _find_class(tree: ast.Module, name: str) -> Optional[ast.ClassDef]:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef) and node.name == name:
+            return node
+    return None
+
+
+def _preamble_renames(func: ast.FunctionDef,
+                      loop: ast.While) -> Dict[str, str]:
+    """Alias map from the local-binding preamble before the hot loop.
+
+    ``pop = heapq.heappop`` makes ``pop`` canonical ``POP`` — whatever
+    the local is actually called, so renaming a local cannot fool (or
+    break) the diff.
+    """
+    renames = dict(_BASE_RENAMES)
+    for stmt in func.body:
+        if stmt is loop:
+            break
+        if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1 and \
+                isinstance(stmt.targets[0], ast.Name):
+            value = _canon_stmt(ast.Expr(value=stmt.value), renames)
+            # the attribute rewrite usually already yields the
+            # placeholder itself, hence the identity entries
+            canon = {"QUEUE": "QUEUE", "POP": "POP",
+                     "TELEMETRY": "TELEMETRY", "SANITIZER": "SANITIZER",
+                     "ORPHAN_FN": "ORPHAN_FN"}.get(value)
+            if canon is not None:
+                renames[stmt.targets[0].id] = canon
+    return renames
+
+
+def _is_until_guard(stmt: ast.stmt) -> bool:
+    if not isinstance(stmt, ast.If):
+        return False
+    return ast.unparse(stmt.test).startswith("until is not None")
+
+
+def _process_reference(events_source: str) -> List[str]:
+    """Canonical statements of ``Event._process`` from events.py."""
+    tree = ast.parse(events_source)
+    event_cls = _find_class(tree, "Event")
+    if event_cls is None:
+        raise ValueError("events.py defines no Event class")
+    process = _method(event_cls, "_process")
+    if process is None:
+        raise ValueError("Event defines no _process method")
+    renames = dict(_BASE_RENAMES)
+    renames["self"] = "EVENT"  # _process's self *is* the event
+    return [_canon_stmt(stmt, renames, self_name="self")
+            for stmt in process.body
+            if not _is_docstring(stmt)]
+
+
+def _is_docstring(stmt: ast.stmt) -> bool:
+    return isinstance(stmt, ast.Expr) and \
+        isinstance(stmt.value, ast.Constant) and \
+        isinstance(stmt.value.value, str)
+
+
+def _loop_of(func: ast.FunctionDef) -> Optional[ast.While]:
+    loops = [n for n in ast.walk(func) if isinstance(n, ast.While)]
+    return loops[0] if len(loops) == 1 else None
+
+
+def _clone_body(func: ast.FunctionDef, loop: ast.While,
+                process_ref: List[str]) -> List[str]:
+    """The canonical core statement sequence of one clone's loop body."""
+    renames = _preamble_renames(func, loop)
+    out: List[str] = []
+    for stmt in loop.body:
+        if _is_until_guard(stmt):
+            continue  # per-entry-point deadline handling may differ
+        if isinstance(stmt, ast.Return) and stmt.value is None:
+            continue  # step returns after one event; run keeps looping
+        canon = _canon_stmt(stmt, renames)
+        if canon == "EVENT._process()":
+            out.extend(process_ref)  # step delegates; run/run_process inline
+        else:
+            out.append(canon)
+    return out
+
+
+def compare_clones(engine_source: str,
+                   events_source: str) -> List[CloneDivergence]:
+    """Diff the three engine loop clones; empty list means consistent."""
+    divergences: List[CloneDivergence] = []
+    tree = ast.parse(engine_source)
+    simulator = _find_class(tree, "Simulator")
+    if simulator is None:
+        return [CloneDivergence("Simulator", 1,
+                                "engine.py defines no Simulator class")]
+    process_ref = _process_reference(events_source)
+
+    bodies: Dict[str, List[str]] = {}
+    linenos: Dict[str, int] = {}
+    for name in CLONE_METHODS:
+        method = _method(simulator, name)
+        if method is None:
+            divergences.append(CloneDivergence(
+                name, simulator.lineno, f"Simulator.{name} is missing"))
+            continue
+        loop = _loop_of(method)
+        if loop is None:
+            divergences.append(CloneDivergence(
+                name, method.lineno,
+                "expected exactly one while loop (the inlined event loop)"))
+            continue
+        bodies[name] = _clone_body(method, loop, process_ref)
+        linenos[name] = loop.lineno
+
+    if "step" not in bodies:
+        return divergences
+    reference = bodies["step"]
+    for name in CLONE_METHODS[1:]:
+        if name not in bodies:
+            continue
+        actual = bodies[name]
+        lineno = linenos[name]
+        for index in range(max(len(reference), len(actual))):
+            expected_stmt = reference[index] if index < len(reference) else \
+                "<nothing: step's loop body ends here>"
+            actual_stmt = actual[index] if index < len(actual) else \
+                "<nothing: this loop body ends here>"
+            if expected_stmt != actual_stmt:
+                divergences.append(CloneDivergence(
+                    name, lineno,
+                    f"statement {index + 1} is `{actual_stmt}` but the "
+                    f"reference clone (step/Event._process) has "
+                    f"`{expected_stmt}`"))
+                break  # one aligned diff per method keeps the report readable
+    return divergences

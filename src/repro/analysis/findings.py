@@ -1,0 +1,120 @@
+"""Findings and suppressions for the simlint static analyzer.
+
+A :class:`Finding` is one rule violation at one source location.  Rules
+may be silenced per line with an inline comment that **must** carry a
+written reason::
+
+    lock.acquire()  # simlint: disable=SIM106 -- refcounted; release() is the pair
+
+Several rule IDs may be listed, comma-separated.  A suppression without
+a reason is itself reported (as ``SIM100``) and cannot be suppressed —
+the whole point is that every exception to a simulation invariant is
+documented where it lives (docs/ANALYSIS.md).
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+#: rule reserved for malformed/bare suppressions; never suppressible
+META_RULE = "SIM100"
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*simlint:\s*disable=(?P<rules>[A-Za-z0-9_,\s]+?)"
+    r"(?:\s*--\s*(?P<reason>\S.*?))?\s*$")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    suppressed: bool = False
+    reason: str = ""
+
+    def format(self) -> str:
+        """Render as a conventional ``path:line:col: RULE message`` line."""
+        tail = f"  [suppressed: {self.reason}]" if self.suppressed else ""
+        return (f"{self.path}:{self.line}:{self.col}: "
+                f"{self.rule} {self.message}{tail}")
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """A parsed ``# simlint: disable=...`` comment on one line."""
+
+    line: int
+    rules: Tuple[str, ...]
+    reason: str
+
+    def covers(self, rule: str) -> bool:
+        return rule in self.rules or "ALL" in self.rules
+
+
+def parse_suppressions(source: str) -> Dict[int, Suppression]:
+    """Extract per-line suppressions from ``source``.
+
+    Tokenizes so only *real* comments count — a directive quoted inside
+    a docstring (like the ones in this module) is documentation, not a
+    suppression.  Falls back to a raw line scan if the file does not
+    tokenize, so a half-broken file still honours its directives.
+    """
+    comments: List[Tuple[int, str]] = []
+    try:
+        for token in tokenize.generate_tokens(io.StringIO(source).readline):
+            if token.type == tokenize.COMMENT:
+                comments.append((token.start[0], token.string))
+    except (tokenize.TokenError, IndentationError):
+        comments = [(lineno, text) for lineno, text
+                    in enumerate(source.splitlines(), start=1)
+                    if "#" in text]
+    found: Dict[int, Suppression] = {}
+    for lineno, text in comments:
+        if "simlint" not in text:
+            continue
+        match = _SUPPRESS_RE.search(text)
+        if match is None:
+            continue
+        rules = tuple(r.strip().upper()
+                      for r in match.group("rules").split(",") if r.strip())
+        reason = (match.group("reason") or "").strip()
+        found[lineno] = Suppression(lineno, rules, reason)
+    return found
+
+
+@dataclass
+class FindingSet:
+    """Accumulated findings for one lint run, with summary helpers."""
+
+    findings: List[Finding] = field(default_factory=list)
+
+    def add(self, finding: Finding) -> None:
+        self.findings.append(finding)
+
+    def extend(self, findings: List[Finding]) -> None:
+        self.findings.extend(findings)
+
+    @property
+    def unsuppressed(self) -> List[Finding]:
+        return [f for f in self.findings if not f.suppressed]
+
+    @property
+    def suppressed(self) -> List[Finding]:
+        return [f for f in self.findings if f.suppressed]
+
+    def by_rule(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for f in self.unsuppressed:
+            counts[f.rule] = counts.get(f.rule, 0) + 1
+        return counts
+
+    def exit_code(self) -> int:
+        return 1 if self.unsuppressed else 0

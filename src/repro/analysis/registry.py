@@ -1,0 +1,156 @@
+"""The simlint rule registry and per-file lint driver.
+
+A rule is a callable ``(SourceFile) -> iterator of (node_or_line, col,
+message)`` registered under a stable ID with :func:`rule`.  The driver
+(:func:`lint_source` / :func:`lint_paths`) parses each file once, runs
+every registered rule over it, and applies the per-line suppressions
+from :mod:`repro.analysis.findings`.
+
+Rules live in :mod:`repro.analysis.rules`; importing that module
+populates the registry as a side effect of its decorators.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple, Union
+
+from repro.analysis.findings import (
+    META_RULE,
+    Finding,
+    FindingSet,
+    Suppression,
+    parse_suppressions,
+)
+
+#: what a rule yields: (AST node or 1-based line number, column, message)
+Site = Tuple[Union[ast.AST, int], int, str]
+
+
+@dataclass
+class SourceFile:
+    """One parsed module: path, text, AST, and parsed suppressions."""
+
+    path: str
+    source: str
+    tree: ast.Module
+    suppressions: Dict[int, Suppression]
+
+    @classmethod
+    def parse(cls, path: str, source: Optional[str] = None) -> "SourceFile":
+        if source is None:
+            with open(path, encoding="utf-8") as handle:
+                source = handle.read()
+        tree = ast.parse(source, filename=path)
+        return cls(path=path, source=source, tree=tree,
+                   suppressions=parse_suppressions(source))
+
+    def functions(self) -> Iterator[ast.AST]:
+        """Every function/method definition, outermost first."""
+        for node in ast.walk(self.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield node
+
+
+@dataclass(frozen=True)
+class Rule:
+    """A registered lint rule: stable ID, short name, rationale, checker."""
+
+    id: str
+    name: str
+    rationale: str
+    check: Callable[[SourceFile], Iterable[Site]]
+
+
+_RULES: Dict[str, Rule] = {}
+
+
+def rule(rule_id: str, name: str,
+         rationale: str) -> Callable[[Callable[[SourceFile], Iterable[Site]]],
+                                     Callable[[SourceFile], Iterable[Site]]]:
+    """Decorator: register ``func`` as the checker for ``rule_id``."""
+    def wrap(func: Callable[[SourceFile], Iterable[Site]]
+             ) -> Callable[[SourceFile], Iterable[Site]]:
+        if rule_id in _RULES:
+            raise ValueError(f"duplicate rule id {rule_id}")
+        _RULES[rule_id] = Rule(rule_id, name, rationale, func)
+        return func
+    return wrap
+
+
+def all_rules() -> List[Rule]:
+    """Every registered rule, by ID (importing ``rules`` populates them)."""
+    import repro.analysis.rules  # noqa: F401  (registration side effect)
+    return [_RULES[k] for k in sorted(_RULES)]
+
+
+def _site_location(site: Site) -> Tuple[int, int]:
+    node, col, _msg = site
+    if isinstance(node, int):
+        return node, col
+    return getattr(node, "lineno", 1), getattr(node, "col_offset", col)
+
+
+def lint_source(path: str, source: Optional[str] = None,
+                rules: Optional[Iterable[Rule]] = None) -> List[Finding]:
+    """Lint one module; returns every finding (suppressed ones marked)."""
+    selected = list(rules) if rules is not None else all_rules()
+    try:
+        src = SourceFile.parse(path, source)
+    except SyntaxError as exc:
+        return [Finding(rule=META_RULE, path=path, line=exc.lineno or 1,
+                        col=exc.offset or 0,
+                        message=f"file does not parse: {exc.msg}")]
+    findings: List[Finding] = []
+    for lint_rule in selected:
+        for site in lint_rule.check(src):
+            line, col = _site_location(site)
+            message = site[2]
+            supp = src.suppressions.get(line)
+            if supp is not None and supp.covers(lint_rule.id):
+                findings.append(Finding(
+                    rule=lint_rule.id, path=path, line=line, col=col,
+                    message=message, suppressed=True, reason=supp.reason))
+            else:
+                findings.append(Finding(rule=lint_rule.id, path=path,
+                                        line=line, col=col, message=message))
+    # bare suppressions (no reason) and suppressions that silenced nothing
+    hit_lines = {f.line for f in findings if f.suppressed}
+    for lineno, supp in sorted(src.suppressions.items()):
+        if not supp.reason:
+            findings.append(Finding(
+                rule=META_RULE, path=path, line=lineno, col=0,
+                message="suppression must carry a reason "
+                        "(`# simlint: disable=RULE -- why`)"))
+        elif lineno not in hit_lines:
+            findings.append(Finding(
+                rule=META_RULE, path=path, line=lineno, col=0,
+                message=f"useless suppression of {', '.join(supp.rules)}: "
+                        "nothing to silence on this line"))
+    findings.sort(key=lambda f: (f.line, f.col, f.rule))
+    return findings
+
+
+def iter_python_files(paths: Iterable[str]) -> Iterator[str]:
+    """Expand files/directories into a sorted stream of ``*.py`` paths."""
+    for path in paths:
+        if os.path.isdir(path):
+            for dirpath, dirnames, filenames in os.walk(path):
+                dirnames.sort()
+                for name in sorted(filenames):
+                    if name.endswith(".py"):
+                        yield os.path.join(dirpath, name)
+        else:
+            yield path
+
+
+def lint_paths(paths: Iterable[str],
+               rules: Optional[Iterable[Rule]] = None) -> FindingSet:
+    """Lint every ``*.py`` under ``paths``; returns the full finding set."""
+    selected = list(rules) if rules is not None else all_rules()
+    result = FindingSet()
+    for filename in iter_python_files(paths):
+        result.extend(lint_source(filename, rules=selected))
+    return result

@@ -86,8 +86,10 @@ def kernel_churn(profile: str = "full") -> ScenarioResult:
         for round_no in range(n_rounds):
             yield sim.timeout((index * 7 + round_no * 13) % 97 + 1)
             yield gate.acquire()
-            yield sim.timeout(11)
-            gate.release()
+            try:
+                yield sim.timeout(11)
+            finally:
+                gate.release()
             mailbox.put((index, round_no))
             # composite waits: a fan-in over fresh timeouts each round
             pair = [sim.timeout(3), sim.timeout(5)]
@@ -102,9 +104,9 @@ def kernel_churn(profile: str = "full") -> ScenarioResult:
         sim.process(worker(i))
     sim.process(drain(n_workers * n_rounds))
 
-    wall0 = time.perf_counter()
+    wall0 = time.perf_counter()  # simlint: disable=SIM101 -- measuring simulator speed; wall_seconds is a golden VOLATILE_KEY
     sim.run()
-    wall = time.perf_counter() - wall0
+    wall = time.perf_counter() - wall0  # simlint: disable=SIM101 -- measuring simulator speed; wall_seconds is a golden VOLATILE_KEY
     return ScenarioResult("kernel_churn", profile, wall,
                           sim.events_processed, sim.now, {})
 
@@ -120,10 +122,10 @@ def randread_nvme(profile: str = "full") -> ScenarioResult:
     n_ios = {"smoke": 300, "full": 3000}[profile]
     system = FullSystem(device=presets.intel750(), interface="nvme")
     system.precondition()
-    wall0 = time.perf_counter()
+    wall0 = time.perf_counter()  # simlint: disable=SIM101 -- measuring simulator speed; wall_seconds is a golden VOLATILE_KEY
     res = system.run_fio(FioJob(rw="randread", bs=4096, iodepth=16,
                                 total_ios=n_ios))
-    wall = time.perf_counter() - wall0
+    wall = time.perf_counter() - wall0  # simlint: disable=SIM101 -- measuring simulator speed; wall_seconds is a golden VOLATILE_KEY
     result = ScenarioResult(
         "randread_nvme", profile, wall,
         system.sim.events_processed, system.sim.now,
@@ -174,10 +176,10 @@ def write_storm_gc(profile: str = "full") -> ScenarioResult:
     system.precondition()
     capacity = system.device_sectors * 512
     n_ios = max(50, int(capacity * multiplier) // 4096)
-    wall0 = time.perf_counter()
+    wall0 = time.perf_counter()  # simlint: disable=SIM101 -- measuring simulator speed; wall_seconds is a golden VOLATILE_KEY
     res = system.run_fio(FioJob(rw="randwrite", bs=4096, iodepth=16,
                                 total_ios=n_ios, warmup_fraction=0.5))
-    wall = time.perf_counter() - wall0
+    wall = time.perf_counter() - wall0  # simlint: disable=SIM101 -- measuring simulator speed; wall_seconds is a golden VOLATILE_KEY
     result = ScenarioResult(
         "write_storm_gc", profile, wall,
         system.sim.events_processed, system.sim.now,

@@ -108,9 +108,9 @@ def main(argv=None) -> int:
     if args.report:
         enable_telemetry(epoch_ns=args.epoch_ns)
     try:
-        started = time.perf_counter()
+        started = time.perf_counter()  # simlint: disable=SIM101 -- wall-clock progress display only; never enters results
         result = module.run(quick=not args.full)
-        elapsed = time.perf_counter() - started
+        elapsed = time.perf_counter() - started  # simlint: disable=SIM101 -- wall-clock progress display only; never enters results
         print(module.render(result))
         if args.trace:
             n_events = write_chrome_trace(args.trace, tracers())

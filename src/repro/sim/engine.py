@@ -5,7 +5,10 @@ of :meth:`Simulator.step` (and of ``Event._process``) with the heap and
 counters bound to locals — the loop runs hundreds of thousands of times
 per macro benchmark and attribute lookups dominate otherwise.  All three
 copies must stay semantically identical; the golden determinism suite
-(``tests/golden``) pins the observable behaviour.
+(``tests/golden``) pins the observable behaviour, and simlint's
+clone-consistency rule (SIM108, ``repro.analysis.clones``) diffs the
+normalized loop bodies so any drift fails
+``python -m repro.analysis lint`` before it can ship.
 """
 
 from __future__ import annotations
@@ -14,6 +17,7 @@ import heapq
 from itertools import count
 from typing import Any, Iterator, Optional
 
+from repro.analysis.sanitizer import sanitizer_for
 from repro.obs.runtime import tracer_for
 from repro.obs.telemetry import probe_for
 from repro.sim.events import AllOf, AnyOf, Event, Timeout
@@ -48,6 +52,14 @@ class Simulator:
     so even enabled telemetry changes neither ``events_processed`` nor
     any simulated result; disabled, it costs one ``is None`` test per
     event.
+
+    A third observe-only hook, the ``sanitizer`` (``None`` by default,
+    live when :func:`repro.analysis.sanitizer.enable_sanitizer` was
+    called or ``REPRO_SANITIZE=1`` is set), sees each processed event
+    the same way and audits resources and processes when the queue
+    drains — detecting causality violations, leaked resource tokens and
+    stuck processes without scheduling anything, so a sanitized run is
+    bit-identical to a plain one.
     """
 
     def __init__(self) -> None:
@@ -58,14 +70,17 @@ class Simulator:
         self._orphan_failures: list = []
         self.tracer = tracer_for(self)
         self.telemetry = probe_for(self)
+        self.sanitizer = sanitizer_for(self)
 
     def _record_orphan_failure(self, event) -> None:
         self._orphan_failures.append(event)
 
     def _notify_failure(self, error: BaseException) -> None:
-        """Hand a run failure to the telemetry probe (post-mortem dump)."""
+        """Hand a run failure to the telemetry/sanitizer post-mortems."""
         if self.telemetry is not None:
             self.telemetry.on_failure(error)
+        if self.sanitizer is not None:
+            self.sanitizer.on_failure(error)
 
     def check_orphan_failures(self) -> None:
         """Raise the first failure of a process nobody waited on."""
@@ -140,6 +155,7 @@ class Simulator:
         """Process exactly one live event (skipping tombstones)."""
         queue = self._queue
         telemetry = self.telemetry
+        sanitizer = self.sanitizer
         while queue:
             when, _seq, event = heapq.heappop(queue)
             if event._cancelled:
@@ -148,6 +164,8 @@ class Simulator:
             self._event_count += 1
             if telemetry is not None:
                 telemetry.on_event(when, event)
+            if sanitizer is not None:
+                sanitizer.on_event(when, event)
             event._process()
             return
         raise EmptySchedule()
@@ -161,6 +179,7 @@ class Simulator:
         pop = heapq.heappop
         record_orphan = self._record_orphan_failure
         telemetry = self.telemetry
+        sanitizer = self.sanitizer
         while queue:
             if until is not None and queue[0][0] > until:
                 self._now = until
@@ -172,6 +191,8 @@ class Simulator:
             self._event_count += 1
             if telemetry is not None:
                 telemetry.on_event(when, event)
+            if sanitizer is not None:
+                sanitizer.on_event(when, event)
             event._processed = True
             callbacks, event.callbacks = event.callbacks, None
             if not event._ok and not callbacks:
@@ -180,6 +201,10 @@ class Simulator:
                 callback(event)
         if until is not None:
             self._now = until
+        elif sanitizer is not None:
+            # true drain (no deadline cut the run short): audit held
+            # tokens and unfinished processes
+            sanitizer.on_drain()
 
     def run_process(self, generator, until: Optional[int] = None) -> Any:
         """Convenience: drive ``generator`` as a process to completion.
@@ -201,6 +226,7 @@ class Simulator:
         pop = heapq.heappop
         record_orphan = self._record_orphan_failure
         telemetry = self.telemetry
+        sanitizer = self.sanitizer
         while not proc._processed and queue:
             if until is not None and queue[0][0] > until:
                 break
@@ -211,6 +237,8 @@ class Simulator:
             self._event_count += 1
             if telemetry is not None:
                 telemetry.on_event(when, event)
+            if sanitizer is not None:
+                sanitizer.on_event(when, event)
             event._processed = True
             callbacks, event.callbacks = event.callbacks, None
             if not event._ok and not callbacks:

@@ -161,6 +161,13 @@ class Timeout(Event):
         """
         if self._processed:
             raise RuntimeError("cannot cancel a processed timeout")
+        if self._cancelled:
+            # double cancel: two owners think they hold this timer —
+            # benign for the schedule (tombstoning is idempotent) but
+            # worth surfacing when the sanitizer is watching
+            sanitizer = getattr(self.sim, "sanitizer", None)
+            if sanitizer is not None:
+                sanitizer.on_double_cancel(self)
         self._cancelled = True
 
 

@@ -68,7 +68,7 @@ class _LineLockTable:
         else:
             lock = Resource(self.sim, 1, name=f"line{line_id}")
             self._locks[line_id] = (lock, 1)
-        return lock.acquire()
+        return lock.acquire()  # simlint: disable=SIM106 -- lock-table API: the paired release() method undoes this; callers hold it in try/finally
 
     def release(self, line_id: int) -> None:
         lock, refs = self._locks[line_id]

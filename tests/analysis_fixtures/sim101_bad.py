@@ -1,0 +1,13 @@
+"""SIM101 fixture: simulated logic reading the host wall clock."""
+
+import time
+from datetime import datetime
+
+
+def service_time():
+    started = time.time()
+    return time.perf_counter() - started
+
+
+def stamp_request():
+    return datetime.now()

@@ -1,0 +1,9 @@
+"""SIM101 fixture: timestamps derived from the simulated clock."""
+
+
+def service_time(sim, started_ns):
+    return sim.now - started_ns
+
+
+def stamp_request(sim):
+    return sim.now

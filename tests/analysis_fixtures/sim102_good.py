@@ -1,0 +1,15 @@
+"""SIM102 fixture: an explicitly-seeded RNG threaded through."""
+
+import random
+
+
+def make_rng(seed):
+    return random.Random(seed)
+
+
+def jitter_ns(rng):
+    return rng.uniform(0, 50)
+
+
+def pick_victim(rng, blocks):
+    return blocks[rng.randint(0, len(blocks) - 1)]

@@ -1,0 +1,16 @@
+"""SIM103 fixture: hash-ordered iteration feeding accumulation."""
+
+
+def total_latency(samples):
+    acc = 0.0
+    for value in {1.5, 2.25, 3.125}:
+        acc += value
+    return acc
+
+
+def gc_order(dirty):
+    victims = set(dirty)
+    order = []
+    for block in victims:
+        order.append(block)
+    return order + [b for b in victims | {0}]

@@ -1,0 +1,13 @@
+"""SIM103 fixture: set contents visited in sorted (deterministic) order."""
+
+
+def total_latency(samples):
+    acc = 0.0
+    for value in sorted(samples):
+        acc += value
+    return acc
+
+
+def gc_order(dirty):
+    victims = set(dirty)
+    return [block for block in sorted(victims)]

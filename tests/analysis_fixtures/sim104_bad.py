@@ -1,0 +1,16 @@
+"""SIM104 fixture: discarded wait primitives and a yield-less process."""
+
+
+def worker(sim, gate, mailbox):
+    sim.timeout(5)
+    gate.acquire()
+    mailbox.get()
+    yield sim.timeout(1)
+
+
+def silent_worker(sim):
+    sim.counter = 1
+
+
+def boot(sim):
+    sim.process(silent_worker(sim))

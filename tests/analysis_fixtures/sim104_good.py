@@ -1,0 +1,11 @@
+"""SIM104 fixture: every wait primitive is yielded; processes yield."""
+
+
+def worker(sim, mailbox):
+    yield sim.timeout(5)
+    item = yield mailbox.get()
+    return item
+
+
+def boot(sim, mailbox):
+    sim.process(worker(sim, mailbox))

@@ -1,0 +1,6 @@
+"""SIM105 fixture: a timeout bound to a name that is never used again."""
+
+
+def worker(sim):
+    watchdog = sim.timeout(50_000)
+    yield sim.timeout(1)

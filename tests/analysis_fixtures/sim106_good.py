@@ -1,0 +1,9 @@
+"""SIM106 fixture: the held token is released on every exit path."""
+
+
+def tidy(sim, gate):
+    yield gate.acquire()
+    try:
+        yield sim.timeout(5)
+    finally:
+        gate.release()

@@ -1,0 +1,12 @@
+"""SIM107 fixture: mutable defaults shared across calls and simulators."""
+
+from collections import defaultdict
+
+
+def run_batch(jobs=[]):
+    jobs.append("warmup")
+    return jobs
+
+
+def build_stats(counters=defaultdict(int), *, labels={}):
+    return counters, labels

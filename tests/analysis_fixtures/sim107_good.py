@@ -1,0 +1,11 @@
+"""SIM107 fixture: None defaults, materialized per call."""
+
+
+def run_batch(jobs=None):
+    jobs = list(jobs or ())
+    jobs.append("warmup")
+    return jobs
+
+
+def build_stats(counters=None, *, labels=None):
+    return counters or {}, labels or {}

@@ -1,0 +1,132 @@
+"""simlint over the real codebase: the self-check CI gate, the engine
+clone-consistency contract, and seeded-mutation proofs that the gate
+actually catches the regressions it exists for (docs/ANALYSIS.md).
+"""
+
+import shutil
+from pathlib import Path
+
+import repro
+from repro.analysis import lint_paths, lint_source
+from repro.analysis.clones import compare_clones
+
+PACKAGE_DIR = Path(repro.__file__).parent
+ENGINE = PACKAGE_DIR / "sim" / "engine.py"
+EVENTS = PACKAGE_DIR / "sim" / "events.py"
+SCENARIOS = PACKAGE_DIR / "bench" / "scenarios.py"
+
+
+def _replace_nth(text, old, new, occurrence):
+    """Replace only the ``occurrence``-th (1-based) hit of ``old``."""
+    parts = text.split(old)
+    assert len(parts) > occurrence, \
+        f"needle occurs {len(parts) - 1} time(s), wanted #{occurrence}"
+    return old.join(parts[:occurrence]) + new + old.join(parts[occurrence:])
+
+
+# -- the gate itself ----------------------------------------------------------
+
+class TestSelfCheck:
+    def test_package_lints_clean(self):
+        """`python -m repro.analysis lint src/repro` must exit 0."""
+        result = lint_paths([str(PACKAGE_DIR)])
+        assert result.unsuppressed == [], "\n".join(
+            f.format() for f in result.unsuppressed)
+
+    def test_every_suppression_carries_a_reason(self):
+        result = lint_paths([str(PACKAGE_DIR)])
+        assert result.suppressed, "expected documented suppressions to exist"
+        for finding in result.suppressed:
+            assert finding.reason, finding.format()
+
+    def test_engine_clones_are_consistent(self):
+        divergences = compare_clones(ENGINE.read_text(), EVENTS.read_text())
+        assert divergences == [], "\n".join(
+            f"{d.method}:{d.lineno}: {d.message}" for d in divergences)
+
+
+# -- seeded mutations: the gate catches what it claims to ---------------------
+
+class TestSeededMutations:
+    def test_inserted_wallclock_read_is_caught(self):
+        """Splice a `time.time()` into the engine: SIM101 fires."""
+        source = ENGINE.read_text().replace(
+            "        self._now: int = 0\n",
+            "        self._now: int = 0\n"
+            "        import time\n"
+            "        self._born = time.time()\n")
+        findings = lint_source("engine_scratch.py", source)
+        assert "SIM101" in {f.rule for f in findings if not f.suppressed}
+
+    def test_unreleased_acquire_is_caught(self):
+        """Undo the kernel_churn try/finally fix: SIM106 fires again."""
+        source = SCENARIOS.read_text().replace(
+            "            yield gate.acquire()\n"
+            "            try:\n"
+            "                yield sim.timeout(11)\n"
+            "            finally:\n"
+            "                gate.release()\n",
+            "            yield gate.acquire()\n"
+            "            yield sim.timeout(11)\n")
+        assert "gate.release()" not in source  # the mutation really applied
+        findings = lint_source("scenarios_scratch.py", source)
+        assert "SIM106" in {f.rule for f in findings if not f.suppressed}
+
+    def test_dropped_statement_in_one_clone_is_caught(self, tmp_path):
+        """Delete `self._event_count += 1` from run() only: SIM108 fires.
+
+        Occurrence 1 of the counter line lives in step(), 2 in run(),
+        3 in run_process() — mutating only #2 makes the clones drift.
+        """
+        mutated = _replace_nth(
+            ENGINE.read_text(), "            self._event_count += 1\n",
+            "", occurrence=2)
+        (tmp_path / "engine.py").write_text(mutated)
+        shutil.copy(EVENTS, tmp_path / "events.py")
+        findings = lint_source(str(tmp_path / "engine.py"))
+        sim108 = [f for f in findings
+                  if f.rule == "SIM108" and not f.suppressed]
+        assert sim108, "clone drift went undetected"
+        assert any("run" in f.message for f in sim108)
+
+    def test_reordered_statements_in_one_clone_are_caught(self, tmp_path):
+        """Swap clock-advance and counter in run_process(): SIM108 fires."""
+        mutated = _replace_nth(
+            ENGINE.read_text(),
+            "            self._now = when\n"
+            "            self._event_count += 1\n",
+            "            self._event_count += 1\n"
+            "            self._now = when\n",
+            occurrence=3)
+        (tmp_path / "engine.py").write_text(mutated)
+        shutil.copy(EVENTS, tmp_path / "events.py")
+        findings = lint_source(str(tmp_path / "engine.py"))
+        assert any(f.rule == "SIM108" and "run_process" in f.message
+                   for f in findings if not f.suppressed)
+
+    def test_statement_added_to_one_clone_is_caught(self, tmp_path):
+        """A stray extra statement in run() only: SIM108 fires."""
+        mutated = _replace_nth(
+            ENGINE.read_text(), "            self._event_count += 1\n",
+            "            self._event_count += 1\n"
+            "            self._orphan_failures.clear()\n",
+            occurrence=2)
+        (tmp_path / "engine.py").write_text(mutated)
+        shutil.copy(EVENTS, tmp_path / "events.py")
+        findings = lint_source(str(tmp_path / "engine.py"))
+        assert any(f.rule == "SIM108" for f in findings if not f.suppressed)
+
+    def test_renamed_local_alone_is_not_drift(self, tmp_path):
+        """Renaming a loop local in run() is canonicalized away: clean."""
+        source = ENGINE.read_text()
+        mutated = _replace_nth(
+            source, "        pop = heapq.heappop\n",
+            "        popper = heapq.heappop\n", occurrence=1)
+        mutated = _replace_nth(
+            mutated, "            when, _seq, event = pop(queue)\n",
+            "            when, _seq, event = popper(queue)\n", occurrence=1)
+        (tmp_path / "engine.py").write_text(mutated)
+        shutil.copy(EVENTS, tmp_path / "events.py")
+        divergences = compare_clones(mutated, EVENTS.read_text())
+        assert divergences == [], "\n".join(
+            f"{d.method}:{d.lineno}: {d.message}" for d in divergences)
