@@ -1,65 +1,74 @@
 #!/usr/bin/env python3
-"""Design-space exploration: what to spend silicon on.
+"""Design-space exploration: what to spend silicon on — as a fleet sweep.
 
 Sweeps three axes of the SSD configuration — channel count, embedded
-core frequency, and over-provisioning — and measures where each one
+core frequency, and embedded core count — and measures where each one
 stops paying.  This is the kind of study the paper positions Amber for:
 the bottleneck migrates between the storage complex, the computation
 complex and GC depending on the design point.
+
+Each axis used to be a hand-rolled loop simulating one config at a
+time in this process.  It is now *data*: three declarative
+``SweepSpec``s (the same built-ins ``python -m repro.fleet`` exposes)
+executed by the fleet runner, which fans jobs out over worker
+processes, skips configurations already in the result store, and
+merges per-job telemetry into one report.  Re-running this script is
+therefore incremental, and ``--jobs N`` changes nothing but wall-clock
+time — per-job seeds derive from config hashes, so the merged numbers
+are byte-identical at any worker count (``docs/FLEET.md``).
 """
 
-from repro.core import FioJob, FullSystem, presets
-from repro.ssd.config import CoreConfig, FlashGeometry
+import argparse
+import tempfile
+
+from repro.fleet import (
+    ResultStore,
+    builtin_specs,
+    merge_results,
+    run_sweep,
+)
+
+AXES = ("design_space_channels", "design_space_frequency",
+        "design_space_cores")
+AXIS_UNITS = {"channels": "channels", "core_mhz": "MHz", "n_cores": "core(s)"}
 
 
-def measure(device, rw="randread", depth=32, n_ios=1200):
-    system = FullSystem(device=device, interface="nvme")
-    system.precondition()
-    result = system.run_fio(FioJob(rw=rw, bs=4096, iodepth=depth,
-                                   total_ios=n_ios))
-    return result.bandwidth_mbps
-
-
-def sweep_channels():
-    print("\nChannel count (4K random read, QD32)")
-    base = presets.intel750()
-    for channels in (2, 4, 8, 12):
-        geometry = FlashGeometry(
-            channels=channels, packages_per_channel=5, dies_per_package=1,
-            planes_per_die=2, blocks_per_plane=16, pages_per_block=256,
-            page_size=4096)
-        device = base.with_overrides(geometry=geometry)
-        print(f"  {channels:>2} channels: {measure(device):7.0f} MB/s")
-
-
-def sweep_core_frequency():
-    print("\nEmbedded core frequency (4K random read, QD32)")
-    base = presets.intel750()
-    for mhz in (200, 400, 800, 1600):
-        cores = CoreConfig(n_cores=3, frequency=mhz * 1_000_000,
-                           energy_per_instruction=400e-12,
-                           leakage_per_core=0.55)
-        device = base.with_overrides(cores=cores)
-        print(f"  {mhz:>4} MHz: {measure(device):7.0f} MB/s")
-
-
-def sweep_embedded_cores():
-    print("\nEmbedded core count (4K random read, QD32)")
-    base = presets.intel750()
-    for n in (1, 2, 3):
-        cores = CoreConfig(n_cores=n, frequency=800_000_000,
-                           energy_per_instruction=400e-12,
-                           leakage_per_core=0.55)
-        device = base.with_overrides(cores=cores)
-        print(f"  {n} core(s): {measure(device):7.0f} MB/s")
+def explore(store_dir: str, jobs: int) -> None:
+    """Run the three design-space sweeps and print the merged curves."""
+    store = ResultStore(store_dir)
+    specs = builtin_specs()
+    for name in AXES:
+        spec = specs[name]
+        summary = run_sweep(spec, store, jobs=jobs, resume=True)
+        doc = merge_results(spec, store)
+        axis = next(iter(spec.axes))
+        fresh = f", {len(summary.executed)} newly simulated" \
+            if summary.executed else " (all cached)"
+        print(f"\n{axis} (4K random read, QD32){fresh}")
+        for group in doc["groups"]:
+            latency = group.get("latency", {})
+            print(f"  {group['value']:>5} {AXIS_UNITS[axis]:<10}"
+                  f"{group['mean_bandwidth_mbps']:7.0f} MB/s   "
+                  f"p99 {latency.get('p99', 0.0):7.1f} us")
 
 
 def main() -> None:
+    """CLI wrapper: pick a result store and a worker count."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--store", default=None, metavar="DIR",
+                        help="result store (default: a temp dir; pass a "
+                             "real path to make reruns incremental)")
+    parser.add_argument("--jobs", type=int, default=2, metavar="N",
+                        help="worker processes (default 2)")
+    args = parser.parse_args()
+
     print("SSD design-space exploration (Intel 750 baseline)")
     print("=" * 56)
-    sweep_channels()
-    sweep_core_frequency()
-    sweep_embedded_cores()
+    if args.store:
+        explore(args.store, args.jobs)
+    else:
+        with tempfile.TemporaryDirectory(prefix="fleet-dse-") as tmp:
+            explore(tmp, args.jobs)
     print("\nReading: channels feed bandwidth only while the computation")
     print("complex keeps up; once the firmware cores saturate, frequency")
     print("and core count become the levers — exactly why Amber models")

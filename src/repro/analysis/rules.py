@@ -385,6 +385,78 @@ def check_mutable_default(src: SourceFile) -> Iterator[Site]:
                     "shared between calls"
 
 
+# -- SIM109: fleet worker seeding ---------------------------------------------
+
+#: substrings marking a function as a per-job/worker execution entry point
+_WORKER_NAME_MARKERS = ("worker", "_job", "job_", "run_job")
+
+#: names that, appearing anywhere in a seed expression, prove derivation
+#: from the job's identity (config hash or a seed threaded from one)
+_SEED_SOURCE_MARKERS = ("hash", "seed")
+
+#: seed sources that vary with scheduling/host state, never with config
+_FORBIDDEN_SEED_CALLS = {"os.getpid", "os.getppid", "os.urandom",
+                         "uuid.uuid4", "id"}
+
+
+def _seed_expr_verdict(expr: ast.AST,
+                       aliases: Dict[str, str]) -> Optional[str]:
+    """Why a worker seed expression is unacceptable, or None if fine."""
+    for node in ast.walk(expr):
+        if isinstance(node, ast.Call):
+            target = _resolve_call(node.func, aliases)
+            if target in _FORBIDDEN_SEED_CALLS:
+                return f"seeded from `{target}()`, which varies with " \
+                       "scheduling, not with the job's configuration"
+    mentions: List[str] = []
+    for node in ast.walk(expr):
+        if isinstance(node, ast.Name):
+            mentions.append(node.id.lower())
+        elif isinstance(node, ast.Attribute):
+            mentions.append(node.attr.lower())
+    derived = any(marker in name
+                  for name in mentions
+                  for marker in _SEED_SOURCE_MARKERS)
+    if not derived:
+        if not mentions:
+            return "seeded from a constant: every job draws the same " \
+                   "stream, so a fleet of 'independent' configs is N " \
+                   "copies of one"
+        return "seed does not derive from the job's config hash (no " \
+               "`*hash*`/`*seed*` name in the expression)"
+    return None
+
+
+@rule("SIM109", "fleet-seed",
+      "A worker-process RNG must be seeded from the job's config hash "
+      "(repro.fleet.spec.derive_seed) — never from a constant, a pid, or "
+      "the clock. A constant collapses the fleet onto one stream; "
+      "pid/clock seeds make results depend on which worker ran the job, "
+      "breaking the 1-worker == N-worker determinism guarantee and "
+      "poisoning the content-addressed result cache.")
+def check_fleet_seed(src: SourceFile) -> Iterator[Site]:
+    aliases = _import_aliases(src.tree)
+    for func in src.functions():
+        name = func.name.lower()
+        if not any(marker in name for marker in _WORKER_NAME_MARKERS):
+            continue
+        for node in _own_nodes(func):
+            if not isinstance(node, ast.Call):
+                continue
+            target = _resolve_call(node.func, aliases)
+            seed_args: List[ast.AST] = []
+            if target == "random.Random" and node.args:
+                seed_args.append(node.args[0])
+            elif isinstance(node.func, ast.Attribute) and \
+                    node.func.attr == "seed" and node.args:
+                seed_args.append(node.args[0])
+            for arg in seed_args:
+                verdict = _seed_expr_verdict(arg, aliases)
+                if verdict is not None:
+                    yield node, node.col_offset, \
+                        f"worker `{func.name}` {verdict}"
+
+
 # -- SIM108: engine clone consistency -----------------------------------------
 
 

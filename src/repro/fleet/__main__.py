@@ -1,0 +1,154 @@
+"""Fleet CLI: plan, run, inspect and report declarative sweeps.
+
+Usage::
+
+    python -m repro.fleet plan   --builtin smoke4
+    python -m repro.fleet run    --spec sweep.json --store out/ --jobs 4
+    python -m repro.fleet run    --builtin smoke4 --store out/ --resume
+    python -m repro.fleet status --builtin smoke4 --store out/
+    python -m repro.fleet report --builtin smoke4 --store out/ --out fleet.md
+    python -m repro.fleet --list
+
+``run --resume`` skips configurations whose hash already has a stored
+result; ``run --dry-run`` prints the plan (including what resume would
+skip) without simulating.  Reports render Markdown or HTML by file
+suffix; ``--json`` on ``report`` writes the canonical merged document
+instead.  See ``docs/FLEET.md``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.fleet.report import merge_results, merged_json, write_fleet_report
+from repro.fleet.runner import run_sweep, sweep_status
+from repro.fleet.scenarios import SCENARIOS, builtin_specs, spec_names
+from repro.fleet.spec import SweepSpec
+from repro.fleet.store import ResultStore
+
+
+def _load_spec(args) -> SweepSpec:
+    """Resolve --spec FILE / --builtin NAME into a SweepSpec."""
+    if args.spec:
+        return SweepSpec.load(args.spec)
+    if args.builtin:
+        specs = builtin_specs()
+        if args.builtin not in specs:
+            raise SystemExit(f"unknown built-in sweep {args.builtin!r}; "
+                             f"choose from {', '.join(spec_names())}")
+        return specs[args.builtin]
+    raise SystemExit("one of --spec FILE or --builtin NAME is required")
+
+
+def _add_spec_args(sub) -> None:
+    """Attach the shared ``--spec`` / ``--builtin`` options to a subcommand."""
+    sub.add_argument("--spec", metavar="FILE",
+                     help="JSON sweep-spec file (docs/FLEET.md schema)")
+    sub.add_argument("--builtin", metavar="NAME",
+                     help=f"built-in sweep: {', '.join(spec_names())}")
+
+
+def _print_plan(spec: SweepSpec, store: ResultStore | None) -> None:
+    """One line per planned job: hash, cached marker, parameters."""
+    jobs = sorted(spec.expand(), key=lambda job: job.config_hash)
+    print(f"sweep {spec.name!r}: scenario {spec.scenario!r}, "
+          f"{len(jobs)} configuration(s)")
+    for job in jobs:
+        cached = " (cached)" if store is not None and \
+            store.has(job.config_hash) else ""
+        varying = {key: value for key, value in sorted(job.params.items())
+                   if key in spec.axes}
+        print(f"  {job.config_hash[:16]}{cached}  {varying}")
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.fleet",
+        description="Plan, run and report declarative simulation sweeps.")
+    parser.add_argument("--list", action="store_true",
+                        help="list built-in sweeps and scenarios")
+    sub = parser.add_subparsers(dest="command")
+
+    plan = sub.add_parser("plan", help="expand a spec into its job list")
+    _add_spec_args(plan)
+    plan.add_argument("--store", metavar="DIR",
+                      help="mark jobs already cached in this store")
+
+    run = sub.add_parser("run", help="execute a sweep into a result store")
+    _add_spec_args(run)
+    run.add_argument("--store", metavar="DIR", required=True,
+                     help="content-addressed result store directory")
+    run.add_argument("--jobs", type=int, default=1, metavar="N",
+                     help="worker processes (default 1: inline)")
+    run.add_argument("--resume", action="store_true",
+                     help="skip configurations that already have results")
+    run.add_argument("--dry-run", action="store_true",
+                     help="print the plan without simulating")
+
+    status = sub.add_parser("status", help="done/missing counts for a sweep")
+    _add_spec_args(status)
+    status.add_argument("--store", metavar="DIR", required=True)
+
+    report = sub.add_parser("report", help="merge a sweep into one artifact")
+    _add_spec_args(report)
+    report.add_argument("--store", metavar="DIR", required=True)
+    report.add_argument("--out", metavar="OUT.md|OUT.html", required=True,
+                        help="output path; suffix selects Markdown or HTML")
+    report.add_argument("--json", action="store_true",
+                        help="write the canonical merged JSON instead")
+
+    args = parser.parse_args(argv)
+
+    if args.list or not args.command:
+        print("built-in sweeps:")
+        for name, spec in sorted(builtin_specs().items()):
+            print(f"  {name:<24} scenario={spec.scenario:<12} "
+                  f"{len(spec.expand())} job(s)")
+        print("scenarios:")
+        for name in sorted(SCENARIOS):
+            print(f"  {name}")
+        return 0
+
+    spec = _load_spec(args)
+
+    if args.command == "plan":
+        store = ResultStore(args.store) if args.store else None
+        _print_plan(spec, store)
+        return 0
+
+    store = ResultStore(args.store)
+
+    if args.command == "run":
+        if args.dry_run:
+            _print_plan(spec, store)
+            return 0
+        summary = run_sweep(spec, store, jobs=args.jobs, resume=args.resume,
+                            progress=lambda msg: print(msg, file=sys.stderr))
+        print(f"{spec.name}: executed {len(summary.executed)}, "
+              f"cached {len(summary.skipped)}, "
+              f"planned {summary.planned} -> {store.root}")
+        return 0
+
+    if args.command == "status":
+        state = sweep_status(spec, store)
+        print(f"{state['spec']}: {state['done']}/{state['planned']} done")
+        for job_hash in state["missing"]:
+            print(f"  missing {job_hash[:16]}")
+        return 0 if not state["missing"] else 1
+
+    # report
+    doc = merge_results(spec, store)
+    if args.json:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(merged_json(doc))
+    else:
+        write_fleet_report(args.out, doc)
+    print(f"[fleet report: {doc['merged']}/{doc['planned']} configs "
+          f"-> {args.out}]")
+    return 0 if not doc["missing"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,117 @@
+"""The fleet runner: execute a sweep's jobs across worker processes.
+
+Determinism contract (pinned by ``tests/test_fleet.py``):
+
+* every job's RNG seed derives from its config hash
+  (:func:`repro.fleet.spec.derive_seed`) — never from worker identity,
+  scheduling order, pids or the clock — so a job computes the same
+  result whichever worker runs it, whenever;
+* results land in the content-addressed store keyed by hash, so
+  completion order (which *does* vary with ``--jobs``) can never leak
+  into the merged output — reports read the store in sorted-hash order;
+* therefore a 1-worker and an N-worker run of the same spec produce
+  byte-identical stores and byte-identical merged reports.
+
+``resume=True`` skips any job whose hash already has a stored result,
+which is also what makes a killed overnight sweep restartable: rerun
+the same command and only the missing configurations execute.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.fleet.spec import Job, SweepSpec, derive_seed
+from repro.fleet.store import ResultStore
+
+
+@dataclass
+class RunSummary:
+    """What one ``run_sweep`` invocation planned, skipped and executed."""
+
+    planned: int = 0
+    skipped: List[str] = field(default_factory=list)
+    executed: List[str] = field(default_factory=list)
+
+    def to_dict(self) -> Dict:
+        """JSON-ready counts plus the executed/skipped hash lists."""
+        return {"planned": self.planned, "executed": sorted(self.executed),
+                "skipped": sorted(self.skipped)}
+
+
+def run_one_job(job: Job) -> Tuple[str, Dict]:
+    """Execute a single planned job; the unit of work a worker runs.
+
+    Module-level (not a closure) so it pickles under any multiprocessing
+    start method.  The scenario seed comes from the job's config hash —
+    simlint's SIM109 rule guards this property for every worker entry
+    point in the tree.
+    """
+    from repro.fleet.scenarios import run_scenario
+    seed = derive_seed(job.config_hash)
+    return job.config_hash, run_scenario(job.params, seed)
+
+
+def run_sweep(spec: SweepSpec, store: ResultStore, jobs: int = 1,
+              resume: bool = True,
+              progress: Optional[Callable[[str], None]] = None) -> RunSummary:
+    """Run every job of ``spec`` into ``store``; returns the summary.
+
+    ``jobs=1`` executes inline in this process (no pool), in
+    sorted-hash order.  ``jobs>1`` fans out over a
+    ``ProcessPoolExecutor``; completion order is nondeterministic but
+    harmless (see module doc).  ``resume=False`` re-executes and
+    overwrites even configurations that already have results.
+    """
+    if jobs < 1:
+        raise ValueError("jobs must be >= 1")
+    summary = RunSummary()
+    planned = sorted(spec.expand(), key=lambda job: job.config_hash)
+    summary.planned = len(planned)
+    pending: List[Job] = []
+    for job in planned:
+        if resume and store.has(job.config_hash):
+            summary.skipped.append(job.config_hash)
+        else:
+            pending.append(job)
+
+    def note(message: str) -> None:
+        """Forward a progress line to the caller's callback, if any."""
+        if progress is not None:
+            progress(message)
+
+    note(f"{spec.name}: {summary.planned} planned, "
+         f"{len(summary.skipped)} cached, {len(pending)} to run "
+         f"({jobs} worker{'s' if jobs != 1 else ''})")
+
+    if jobs == 1 or len(pending) <= 1:
+        for job in pending:
+            job_hash, result = run_one_job(job)
+            store.put(job_hash, job.params, result)
+            summary.executed.append(job_hash)
+            note(f"done {job_hash[:12]} "
+                 f"({len(summary.executed)}/{len(pending)})")
+        return summary
+
+    by_hash = {job.config_hash: job for job in pending}
+    with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
+        futures = {pool.submit(run_one_job, job): job for job in pending}
+        for future in as_completed(futures):
+            job_hash, result = future.result()
+            store.put(job_hash, by_hash[job_hash].params, result)
+            summary.executed.append(job_hash)
+            note(f"done {job_hash[:12]} "
+                 f"({len(summary.executed)}/{len(pending)})")
+    return summary
+
+
+def sweep_status(spec: SweepSpec, store: ResultStore) -> Dict:
+    """Completion status of a spec against a store (for ``status``)."""
+    planned = sorted(spec.expand(), key=lambda job: job.config_hash)
+    done = [job.config_hash for job in planned if store.has(job.config_hash)]
+    missing = [job.config_hash for job in planned
+               if not store.has(job.config_hash)]
+    return {"spec": spec.name, "planned": len(planned), "done": len(done),
+            "missing": missing}

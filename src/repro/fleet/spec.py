@@ -1,0 +1,170 @@
+"""Declarative sweep specifications: config-as-data for the fleet runner.
+
+A :class:`SweepSpec` names a scenario from the registry
+(:mod:`repro.fleet.scenarios`) and describes a family of parameter
+dictionaries: a ``base`` dict every job shares plus ``axes`` that vary.
+Expansion (:meth:`SweepSpec.expand`) turns the spec into concrete
+:class:`Job` descriptions, each carrying a **stable config hash** — the
+SHA-256 of the job's canonical-JSON parameter dict.  The hash is the
+identity of the job everywhere downstream: the result store files under
+it, the runner derives the job's RNG seed from it
+(:func:`derive_seed`), and merged reports key on it, so any two sweeps
+that describe the same configuration agree on what they ran.
+
+The spec's ``name`` is deliberately *excluded* from the hash: renaming
+a sweep must not invalidate its cached results.
+
+Grid mode enumerates the cartesian product of the axes (axis names in
+sorted order, values in listed order).  Random mode draws ``samples``
+assignments from the axes with a ``random.Random(sample_seed)``
+sampler — deterministic for a given spec — and de-duplicates by config
+hash, keeping first occurrences.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.experiments.golden import canonicalize
+
+
+def config_hash(params: Dict) -> str:
+    """Stable SHA-256 hex digest of one job's parameter dictionary.
+
+    Parameters are canonicalized exactly like golden-test results
+    (sorted string keys, tuples to lists, volatile keys dropped), so the
+    hash is independent of dict insertion order and of how the spec was
+    written down.
+    """
+    payload = json.dumps(canonicalize(params), sort_keys=True,
+                         separators=(",", ":"), ensure_ascii=True)
+    return hashlib.sha256(payload.encode("ascii")).hexdigest()
+
+
+def derive_seed(job_hash: str, stream: int = 0) -> int:
+    """Deterministic per-job RNG seed derived from the config hash.
+
+    Two jobs with different configurations draw from unrelated streams;
+    the same configuration always gets the same seed, no matter which
+    worker process runs it or in which order.  ``stream`` separates
+    multiple independent RNG consumers inside one job.
+    """
+    return int(job_hash[:16], 16) ^ (stream * 0x9E3779B97F4A7C15
+                                     & 0xFFFFFFFFFFFFFFFF)
+
+
+@dataclass(frozen=True)
+class Job:
+    """One planned simulation: its full parameter dict and its hash."""
+
+    params: Dict
+    config_hash: str
+
+    @classmethod
+    def from_params(cls, params: Dict) -> "Job":
+        """Wrap a parameter dict, computing its config hash."""
+        return cls(params=params, config_hash=config_hash(params))
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A declarative sweep: scenario + shared base + varying axes."""
+
+    name: str
+    scenario: str
+    base: Dict = field(default_factory=dict)
+    axes: Dict[str, Tuple] = field(default_factory=dict)
+    mode: str = "grid"            # "grid" | "random"
+    samples: int = 0              # random mode: how many draws
+    sample_seed: int = 17         # random mode: sampler seed
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("grid", "random"):
+            raise ValueError(f"unknown sweep mode {self.mode!r}")
+        if self.mode == "random" and self.samples < 1:
+            raise ValueError("random mode needs samples >= 1")
+        for axis, values in self.axes.items():
+            if not isinstance(values, Sequence) or isinstance(values, str) \
+                    or len(values) == 0:
+                raise ValueError(f"axis {axis!r} must list at least one value")
+            if axis in self.base:
+                raise ValueError(f"axis {axis!r} also appears in base")
+
+    # -- expansion --------------------------------------------------------
+
+    def _job_params(self, assignment: Dict) -> Dict:
+        """Merge scenario + base + one axis assignment into job params."""
+        params = {"scenario": self.scenario}
+        params.update(self.base)
+        params.update(assignment)
+        return params
+
+    def expand(self) -> List[Job]:
+        """Concrete jobs, in deterministic spec order (see module doc)."""
+        names = sorted(self.axes)
+        if self.mode == "grid":
+            assignments = [dict(zip(names, combo)) for combo in
+                           itertools.product(*(tuple(self.axes[n])
+                                               for n in names))]
+        else:
+            rng = random.Random(self.sample_seed)
+            assignments = [{n: rng.choice(tuple(self.axes[n]))
+                            for n in names}
+                           for _ in range(self.samples)]
+        jobs: List[Job] = []
+        seen = set()
+        for assignment in assignments:
+            job = Job.from_params(self._job_params(assignment))
+            if job.config_hash not in seen:
+                seen.add(job.config_hash)
+                jobs.append(job)
+        return jobs
+
+    # -- (de)serialization ------------------------------------------------
+
+    def to_dict(self) -> Dict:
+        """JSON-ready encoding (the on-disk sweep-spec schema)."""
+        doc = {
+            "name": self.name,
+            "scenario": self.scenario,
+            "base": dict(self.base),
+            "axes": {name: list(values)
+                     for name, values in sorted(self.axes.items())},
+            "mode": self.mode,
+        }
+        if self.mode == "random":
+            doc["samples"] = self.samples
+            doc["sample_seed"] = self.sample_seed
+        return doc
+
+    @classmethod
+    def from_dict(cls, doc: Dict) -> "SweepSpec":
+        """Parse the on-disk schema (see ``docs/FLEET.md``)."""
+        unknown = set(doc) - {"name", "scenario", "base", "axes", "mode",
+                              "samples", "sample_seed"}
+        if unknown:
+            raise ValueError(f"unknown spec keys: {sorted(unknown)}")
+        for key in ("name", "scenario"):
+            if key not in doc:
+                raise ValueError(f"spec is missing required key {key!r}")
+        return cls(
+            name=doc["name"],
+            scenario=doc["scenario"],
+            base=dict(doc.get("base", {})),
+            axes={name: tuple(values)
+                  for name, values in doc.get("axes", {}).items()},
+            mode=doc.get("mode", "grid"),
+            samples=int(doc.get("samples", 0)),
+            sample_seed=int(doc.get("sample_seed", 17)),
+        )
+
+    @classmethod
+    def load(cls, path) -> "SweepSpec":
+        """Read a JSON spec file from ``path``."""
+        with open(path, encoding="utf-8") as handle:
+            return cls.from_dict(json.load(handle))

@@ -193,6 +193,24 @@ class LogHistogram:
             "buckets": [[lo, hi, n] for lo, hi, n in self.buckets()],
         }
 
+    @classmethod
+    def from_dict(cls, doc: Dict) -> "LogHistogram":
+        """Rebuild a histogram from :meth:`to_dict` output.
+
+        The encoding is lossless at bucket granularity, so a round trip
+        preserves every summary — which is what lets per-job histograms
+        persisted by the fleet result store merge into fleet-wide
+        percentiles without any raw samples (``repro.fleet.report``).
+        """
+        hist = cls(subbuckets=int(doc["subbuckets"]))
+        for lo, _hi, n in doc.get("buckets", []):
+            hist._counts[hist._index_of(int(lo))] = int(n)
+        hist.count = int(doc["count"])
+        hist.total = int(doc["total"])
+        hist.min = int(doc["min"])
+        hist.max = int(doc["max"])
+        return hist
+
     def __len__(self) -> int:
         return self.count
 

@@ -1,0 +1,20 @@
+"""SIM109 fixture: fleet workers seeded from everything but the config."""
+
+import os
+import random
+
+
+def run_job_worker(job):
+    rng = random.Random(1234)            # same stream for every job
+    return rng.uniform(0, 50)
+
+
+def sweep_worker(params):
+    rng = random.Random(os.getpid())     # varies by scheduling, not config
+    return rng.randrange(100)
+
+
+def replay_job(entry, counter):
+    rng = random.Random(counter * 31)    # depends on completion order
+    rng.seed(counter * 31)
+    return rng.random()

@@ -1,0 +1,20 @@
+"""SIM109 fixture: workers derive every RNG stream from the config hash."""
+
+import random
+
+from repro.fleet.spec import derive_seed
+
+
+def run_job_worker(job):
+    rng = random.Random(derive_seed(job.config_hash))
+    return rng.uniform(0, 50)
+
+
+def sweep_worker(params, config_hash):
+    rng = random.Random(int(config_hash[:16], 16))
+    return rng.randrange(100)
+
+
+def replay_job(entry, job_seed):
+    rng = random.Random(job_seed + 7919)
+    return rng.random()

@@ -24,7 +24,7 @@ FIXTURES = Path(__file__).parent / "analysis_fixtures"
 #: rules with a bad/good file pair (SIM108 is exercised on engine sources
 #: in test_analysis_selfcheck.py; SIM100 is the meta-rule, tested below)
 FIXTURE_RULES = ("SIM101", "SIM102", "SIM103", "SIM104",
-                 "SIM105", "SIM106", "SIM107")
+                 "SIM105", "SIM106", "SIM107", "SIM109")
 
 
 def _rule_ids(findings):
