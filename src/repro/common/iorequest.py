@@ -54,6 +54,10 @@ class IORequest:
     # set by drivers/controllers as the request is serviced
     queue_id: int = 0
     tag: int = -1
+    # NVMe namespace carrying the request; 0 = the driver's default
+    # namespace (legacy single-tenant behaviour).  slba is then
+    # namespace-relative and translated by the driver.
+    nsid: int = 0
 
     SECTOR = 512
 

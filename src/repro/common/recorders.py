@@ -59,6 +59,17 @@ class LatencyRecorder:
     def min(self) -> int:
         return self._hist.min
 
+    def merge(self, other: "LatencyRecorder") -> "LatencyRecorder":
+        """Fold another recorder's samples into this one (lossless).
+
+        Delegates to :meth:`LogHistogram.merge`, so per-tenant recorders
+        roll up to a device-wide recorder exactly — the merged histogram
+        is bucket-for-bucket identical to one fed every sample directly
+        (pinned by the rollup regression test).
+        """
+        self._hist.merge(other._hist)
+        return self
+
     def summary(self) -> Dict[str, float]:
         p50, p99 = self._hist.percentiles([50, 99])
         return {

@@ -48,3 +48,19 @@ def percentiles_sorted(ordered: Sequence[float],
                        ps: Sequence[float]) -> List[float]:
     """Several percentiles of one pre-sorted sequence, in one pass."""
     return [percentile_sorted(ordered, p) for p in ps]
+
+
+def jain_fairness(values: Sequence[float]) -> float:
+    """Jain's fairness index over per-tenant allocations.
+
+    ``(sum x)^2 / (n * sum x^2)`` — 1.0 when every tenant gets an equal
+    share, ``1/n`` when one tenant gets everything.  An empty or
+    all-zero sequence yields 0.0.
+    """
+    if not values:
+        return 0.0
+    total = float(sum(values))
+    squares = float(sum(v * v for v in values))
+    if squares == 0.0:
+        return 0.0
+    return (total * total) / (len(values) * squares)

@@ -65,6 +65,18 @@ class FioJob:
 from repro.core.metrics import FioResult  # noqa: E402  (dataclass import order)
 
 
+def run_multi_tenant(system, job) -> "object":
+    """Run a multi-tenant job (the fio-style entry point).
+
+    Thin forwarder to :class:`repro.core.tenants.MultiTenantEngine`;
+    kept here so workload call sites import one module for both the
+    single-job (`FioEngine`) and multi-tenant engines.  Imported lazily
+    to avoid a circular module dependency.
+    """
+    from repro.core.tenants import MultiTenantEngine
+    return MultiTenantEngine(system).run(job)
+
+
 class FioEngine:
     """Executes FIO jobs against a wired-up FullSystem."""
 

@@ -282,6 +282,11 @@ class FullSystem:
     def run_fio(self, job: FioJob) -> FioResult:
         return FioEngine(self).run(job)
 
+    def run_multi_tenant(self, job):
+        """Run a :class:`repro.core.tenants.MultiTenantJob` (NVMe only)."""
+        from repro.core.tenants import MultiTenantEngine
+        return MultiTenantEngine(self).run(job)
+
     def run_process(self, generator, until: Optional[int] = None):
         return self.sim.run_process(generator, until=until)
 

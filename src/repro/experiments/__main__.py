@@ -50,6 +50,7 @@ EXPERIMENTS = {
     "fig14": "repro.experiments.fig14_frequency",
     "fig15": "repro.experiments.fig15_passive_active",
     "fig16": "repro.experiments.fig16_simspeed",
+    "noisy": "repro.experiments.noisy_neighbor",
 }
 
 

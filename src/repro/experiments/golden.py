@@ -114,6 +114,19 @@ def _fig16():
     return fig16_simspeed.run(quick=True, n_ios=100)
 
 
+def _multi_tenant_noisy():
+    """The noisy-neighbor suite: namespaces, arbiters, open-loop arrivals.
+
+    One digest covers the whole multi-tenant stack — per-tenant
+    namespaces and queues, all arbitration disciplines the variants
+    exercise, banded placement, Poisson/Zipfian generators and the
+    per-tenant metric rollups.  Any event reorder anywhere in that
+    pipeline shifts a latency and drifts this digest.
+    """
+    from repro.experiments import noisy_neighbor
+    return noisy_neighbor.run(quick=True)
+
+
 def _perf_scenarios():
     """The benchmark scenarios' deterministic facts at smoke size."""
     from repro.bench.scenarios import SCENARIOS
@@ -130,6 +143,7 @@ GOLDEN_CASES: Dict[str, Callable[[], Dict]] = {
     "fig14_frequency": _fig14,
     "fig15_passive_active": _fig15,
     "fig16_simspeed": _fig16,
+    "multi_tenant_noisy": _multi_tenant_noisy,
     "perf_scenarios": _perf_scenarios,
 }
 

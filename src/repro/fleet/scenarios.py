@@ -62,8 +62,14 @@ _WORKLOAD_KEYS = {"scenario", "preset", "interface", "rw", "bs", "iodepth",
                   "total_ios", "numjobs"}
 
 
-def _apply_device_overrides(config, params: Dict):
-    """Fold the job's device-knob parameters into an ``SSDConfig``."""
+def _apply_device_overrides(config, params: Dict, extra_known=frozenset()):
+    """Fold the job's device-knob parameters into an ``SSDConfig``.
+
+    ``extra_known`` names parameters the *calling scenario* consumes
+    itself (e.g. the multi-tenant scenario's ``tenants`` list); anything
+    outside the union of knob keys is rejected loudly so a typo in a
+    sweep spec fails the plan instead of silently running the default.
+    """
     geometry = config.geometry
     if "channels" in params:
         geometry = replace(geometry, channels=int(params["channels"]))
@@ -95,7 +101,7 @@ def _apply_device_overrides(config, params: Dict):
                           fraction_of_dram=float(params["cache_fraction"])))
     known = _WORKLOAD_KEYS | {"channels", "packages_per_channel", "core_mhz",
                               "n_cores", "overprovision", "gc_policy",
-                              "mapping", "cache_fraction"}
+                              "mapping", "cache_fraction"} | set(extra_known)
     unknown = set(params) - known
     if unknown:
         raise ValueError(f"unknown fio-scenario parameters: {sorted(unknown)}")
@@ -141,6 +147,84 @@ def run_fio_scenario(params: Dict, seed: int) -> Dict:
     }
 
 
+# -- the "multi_tenant" scenario ----------------------------------------------
+
+#: multi_tenant-scenario keys consumed here, not by the device overrides
+_TENANT_KEYS = {"tenants", "arbitration", "inflight_limit", "placement",
+                "runtime_ms", "warmup_fraction"}
+
+
+@scenario("multi_tenant")
+def run_multi_tenant_scenario(params: Dict, seed: int) -> Dict:
+    """Co-located tenants under a QoS arbiter, as one sweepable job.
+
+    ``params["tenants"]`` is a list of :class:`TenantSpec` field dicts
+    (JSON-able, so tenant mixes live in sweep specs).  ``arbitration``,
+    ``inflight_limit`` and ``placement`` select the device's QoS
+    machinery; per-queue WFQ weights are derived from the tenants'
+    ``weight`` fields.  All the ``fio`` scenario's device knobs apply
+    too.  The result carries the fleet's standard metric keys plus
+    per-tenant summaries/histograms, arbiter grant counts and Jain's
+    fairness index, so sweep reports rank fairness alongside tails.
+    """
+    from repro.core import presets
+    from repro.core.system import FullSystem
+    from repro.core.tenants import MultiTenantJob, TenantSpec
+
+    preset = params.get("preset", "intel750")
+    config = _apply_device_overrides(presets.by_name(preset), params,
+                                     extra_known=_TENANT_KEYS)
+    tenants = tuple(TenantSpec(**fields)
+                    for fields in params.get("tenants", ()))
+    if not tenants:
+        raise ValueError("multi_tenant scenario needs a 'tenants' list")
+    hil = replace(config.hil,
+                  arbitration=str(params.get("arbitration",
+                                             config.hil.arbitration)),
+                  qos_weights=tuple(t.weight for t in tenants),
+                  inflight_limit=int(params.get("inflight_limit",
+                                                config.hil.inflight_limit)))
+    config = config.with_overrides(hil=hil)
+    if "placement" in params:
+        config = config.with_overrides(
+            fil=replace(config.fil, placement=str(params["placement"])))
+    config.validate()
+
+    # namespaces require NVMe; the engine enforces this, we just wire it
+    system = FullSystem(device=config, interface="nvme")
+    system.precondition()
+    runtime_ms = params.get("runtime_ms")
+    job = MultiTenantJob(
+        tenants=tenants,
+        runtime_ns=int(runtime_ms) * 1_000_000 if runtime_ms else None,
+        seed=seed & 0x7FFFFFFF,
+        warmup_fraction=float(params.get("warmup_fraction", 0.15)))
+    result = system.run_multi_tenant(job)
+    return {
+        "bandwidth_mbps": result.bandwidth_mbps,
+        "iops": result.iops,
+        "mean_latency_us": result.latency.mean_us(),
+        "p50_latency_us": result.latency.percentile(50) / 1000.0,
+        "p99_latency_us": result.latency.percentile(99) / 1000.0,
+        "total_ios": result.total_ios,
+        "elapsed_ns": result.elapsed_ns,
+        "events_processed": system.sim.events_processed,
+        "sim_time_ns": system.sim.now,
+        "write_amplification": result.ssd_stats.get(
+            "write_amplification", 1.0),
+        "latency_hist": result.latency.histogram.to_dict(),
+        "arbitration": result.arbitration,
+        "fairness": result.fairness,
+        "grants": {str(qid): count
+                   for qid, count in sorted(result.grants.items())},
+        "tenants": [
+            dict(tenant.summary(), name=tenant.name,
+                 latency_hist=tenant.latency.histogram.to_dict(),
+                 metrics=system.metrics.snapshot(f"tenant{index}"))
+            for index, tenant in enumerate(result.tenants)],
+    }
+
+
 # -- the "experiment" scenario ------------------------------------------------
 
 
@@ -177,10 +261,29 @@ def builtin_specs() -> Dict[str, SweepSpec]:
     ``design_space_*`` reproduce the three axes of
     ``examples/design_space_exploration.py`` as data; ``smoke4`` is the
     tiny 4-config sweep CI uses for its N-worker determinism gate;
-    ``paper_figs`` enumerates every paper figure as one job each.
+    ``paper_figs`` enumerates every paper figure as one job each;
+    ``mt_smoke`` is the 2-tenant arbitration sweep CI replays at
+    ``--jobs 1`` and ``--jobs 2`` to pin scheduling-independence;
+    ``noisy_neighbor`` sweeps the victim/aggressor mix across the QoS
+    mechanisms (see ``repro.experiments.noisy_neighbor``).
     """
     measure = {"preset": "intel750", "rw": "randread", "bs": 4096,
                "iodepth": 32, "total_ios": 1200}
+    mt_pair = [
+        {"name": "reader", "rw": "randread", "bs": 4096, "iodepth": 4,
+         "total_ios": 120, "weight": 4, "priority": 0},
+        {"name": "writer", "rw": "randwrite", "bs": 4096, "iodepth": 4,
+         "total_ios": 80, "weight": 1, "priority": 2},
+    ]
+    noisy_pair = [
+        {"name": "victim", "rw": "randread", "bs": 4096,
+         "arrival": {"kind": "poisson", "rate_iops": 6000},
+         "zipf_theta": 0.9, "weight": 8, "priority": 0,
+         "size_fraction": 0.5},
+        {"name": "aggressor", "rw": "randwrite", "bs": 8192,
+         "iodepth": 32, "weight": 1, "priority": 2,
+         "size_fraction": 0.5},
+    ]
     return {
         "design_space_channels": SweepSpec(
             name="design_space_channels", scenario="fio", base=dict(
@@ -201,6 +304,17 @@ def builtin_specs() -> Dict[str, SweepSpec]:
             name="paper_figs", scenario="experiment",
             axes={"experiment": ("fig10", "fig11", "fig12", "fig13",
                                  "fig14", "fig15", "fig16")}),
+        "mt_smoke": SweepSpec(
+            name="mt_smoke", scenario="multi_tenant",
+            base={"preset": "intel750", "tenants": mt_pair,
+                  "inflight_limit": 4},
+            axes={"arbitration": ("rr", "wrr", "wfq")}),
+        "noisy_neighbor": SweepSpec(
+            name="noisy_neighbor", scenario="multi_tenant",
+            base={"preset": "intel750", "tenants": noisy_pair,
+                  "inflight_limit": 8, "runtime_ms": 20},
+            axes={"arbitration": ("rr", "wfq"),
+                  "placement": ("rotate", "banded")}),
     }
 
 

@@ -32,7 +32,7 @@ class BlockLayer:
         self._wake = None
         self._completion_events: Dict[int, object] = {}   # req_id -> user event
         self._merge_children: Dict[int, List[Tuple[IORequest, object, int]]] = {}
-        self._mergeable: Dict[Tuple[str, int], IORequest] = {}
+        self._mergeable: Dict[Tuple[str, int, int], IORequest] = {}
         self._mix = {
             "block": InstructionMix.typical(profile.block_submit_instr),
             "sched": InstructionMix.typical(profile.sched_instr),
@@ -74,21 +74,22 @@ class BlockLayer:
         self._completion_events[req.req_id] = user_event
         self.scheduler.add(req, stream_id)
         if req.kind in (IOKind.READ, IOKind.WRITE):
-            self._mergeable[(req.kind.value, req.slba + req.nsectors)] = req
+            self._mergeable[(req.kind.value, req.nsid,
+                             req.slba + req.nsectors)] = req
         self._kick()
         if span is not None:
             user_event.add_callback(lambda _ev: tracer.end(span))
         return user_event
 
     def _try_merge(self, req: IORequest, user_event) -> bool:
-        key = (req.kind.value, req.slba)
+        key = (req.kind.value, req.nsid, req.slba)
         parent = self._mergeable.get(key)
         if parent is None:
             return False
         if parent.nsectors + req.nsectors > self.profile.max_merge_sectors:
             return False
         # extend the parent in place (back-merge)
-        del self._mergeable[(parent.kind.value,
+        del self._mergeable[(parent.kind.value, parent.nsid,
                              parent.slba + parent.nsectors)]
         offset = parent.nsectors
         parent.nsectors += req.nsectors
@@ -96,7 +97,7 @@ class BlockLayer:
             parent.data = parent.data + req.data
         self._merge_children.setdefault(parent.req_id, []).append(
             (req, user_event, offset))
-        self._mergeable[(parent.kind.value,
+        self._mergeable[(parent.kind.value, parent.nsid,
                          parent.slba + parent.nsectors)] = parent
         return True
 
@@ -122,7 +123,8 @@ class BlockLayer:
                 wait = max(10_000, idle_until - self.sim.now)
                 yield self.sim.timeout(wait)
                 continue
-            self._mergeable.pop((req.kind.value, req.slba + req.nsectors), None)
+            self._mergeable.pop((req.kind.value, req.nsid,
+                                 req.slba + req.nsectors), None)
             yield from self.cpu.execute(self._mix["driver"], kernel=True)
             req.t_driver = self.sim.now
             device_event = self.adapter.submit(req)

@@ -86,6 +86,36 @@ class NvmeDriver(HostAdapter):
         self.namespaces[nsid] = ns
         return ns
 
+    def delete_namespace(self, nsid: int) -> None:
+        """Drop a namespace; its LBA range becomes unallocated."""
+        if nsid not in self.namespaces:
+            raise ValueError(f"namespace {nsid} does not exist")
+        del self.namespaces[nsid]
+
+    def provision_namespaces(self, sizes: List[int]) -> List[Namespace]:
+        """Repartition the device into ``len(sizes)`` namespaces.
+
+        Replaces the current namespace map with namespaces 1..N laid
+        out back-to-back from sector 0, sized per ``sizes`` (sectors).
+        This is the multi-tenant setup path: tenant ``i`` gets namespace
+        ``i + 1`` (see :mod:`repro.core.tenants`).
+        """
+        total = sum(sizes)
+        capacity = max((ns.start_sector + ns.n_sectors
+                        for ns in self.namespaces.values()), default=total)
+        if total > capacity:
+            raise ValueError(f"namespaces need {total} sectors; "
+                             f"device has {capacity}")
+        if any(size <= 0 for size in sizes):
+            raise ValueError("namespace sizes must be positive")
+        self.namespaces.clear()
+        created: List[Namespace] = []
+        start = 0
+        for index, size in enumerate(sizes):
+            created.append(self.create_namespace(index + 1, start, size))
+            start += size
+        return created
+
     def identify(self) -> Dict[str, object]:
         return {
             "n_io_queues": self.n_io_queues,
@@ -167,12 +197,18 @@ class NvmeDriver(HostAdapter):
                       IOKind.WRITE: NvmeOpcode.WRITE,
                       IOKind.FLUSH: NvmeOpcode.FLUSH,
                       IOKind.TRIM: NvmeOpcode.DATASET_MANAGEMENT}[req.kind]
-            ns = self.namespaces.get(1)
+            if req.nsid:
+                ns = self.namespaces.get(req.nsid)
+                if ns is None:
+                    raise ValueError(f"request targets unknown namespace "
+                                     f"{req.nsid}")
+            else:
+                ns = self.namespaces.get(1)
             slba = ns.translate(req.slba, req.nsectors) if ns and \
                 req.kind in (IOKind.READ, IOKind.WRITE) else req.slba
             pointers = self._build_pointers(req)
             sqe = SubmissionEntry(
-                opcode=opcode, nsid=1, slba=slba,
+                opcode=opcode, nsid=req.nsid or 1, slba=slba,
                 nlb=max(0, req.nsectors - 1),
                 prp_entries=list(pointers.entries),
                 transfer_mode=self.transfer_mode, context=req)

@@ -211,9 +211,15 @@ class FTLConfig:
 
 @dataclass(frozen=True)
 class HILConfig:
-    arbitration: str = "rr"              # "fifo" | "rr" | "wrr"
+    arbitration: str = "rr"              # "fifo" | "rr" | "wrr" | "wfq"
     wrr_weights: Tuple[int, ...] = (4, 2, 1)   # high/medium/low priorities
     fetch_burst: int = 8                 # commands fetched per arbitration turn
+    # per-queue WFQ weights, indexed by queue_id - 1 (missing entries -> 1)
+    qos_weights: Tuple[int, ...] = ()
+    # max commands in service at once; 0 = unbounded (legacy behaviour).
+    # A finite limit backs commands up in the submission queues, which is
+    # what makes arbitration policy actually shape tail latency.
+    inflight_limit: int = 0
 
 
 @dataclass(frozen=True)
@@ -221,6 +227,11 @@ class FILConfig:
     # Order in which striped pages spread over resources (Sprinkler-style).
     parallelism_order: str = "channel_first"   # or "way_first"
     transfer_whole_page: bool = False    # False: partial page I/O on reads
+    # Superpage line placement: "rotate" interleaves consecutive lines over
+    # all channel/way groups (max parallelism); "banded" maps contiguous LBA
+    # bands to disjoint groups, confining each namespace's traffic — and its
+    # GC — to its own dies (die-level tenant isolation).
+    placement: str = "rotate"
 
 
 @dataclass(frozen=True)
@@ -309,7 +320,13 @@ class SSDConfig:
             raise ValueError(f"unknown mapping {self.ftl.mapping!r}")
         if self.ftl.gc_policy not in ("greedy", "costbenefit"):
             raise ValueError(f"unknown GC policy {self.ftl.gc_policy!r}")
-        if self.hil.arbitration not in ("fifo", "rr", "wrr"):
+        if self.hil.arbitration not in ("fifo", "rr", "wrr", "wfq"):
             raise ValueError(f"unknown arbitration {self.hil.arbitration!r}")
+        if self.hil.inflight_limit < 0:
+            raise ValueError("inflight_limit must be >= 0 (0 = unbounded)")
+        if any(weight < 1 for weight in self.hil.qos_weights):
+            raise ValueError("qos_weights must be positive integers")
+        if self.fil.placement not in ("rotate", "banded"):
+            raise ValueError(f"unknown placement {self.fil.placement!r}")
         if self.logical_pages < 1:
             raise ValueError("device too small for its overprovision ratio")

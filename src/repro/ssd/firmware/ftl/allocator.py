@@ -58,16 +58,32 @@ class PageAllocator:
     def line_units(self, line_id: int) -> List[int]:
         """Parallel units backing each page slot of a logical line.
 
-        Consecutive lines rotate across way groups (and channel groups if
-        the span is partial) so streams pipeline over all resources.
+        With ``fil.placement == "rotate"`` (default), consecutive lines
+        rotate across way groups (and channel groups if the span is
+        partial) so streams pipeline over all resources.  With
+        ``"banded"``, the logical line space is cut into one contiguous
+        band per (channel, way) group instead: a namespace confined to
+        one band touches only its own dies, and since GC works per
+        parallel unit, its garbage collection cannot disturb other
+        bands (die-level tenant isolation; see docs/MULTITENANT.md).
         """
         geom = self.config.geometry
         planes = geom.planes_per_die
         ways = geom.ways_per_channel
         n_cgroups = geom.channels // self._span_channels
         n_wgroups = ways // self._span_ways
-        cgroup = line_id % n_cgroups
-        wgroup = (line_id // n_cgroups) % n_wgroups
+        if self.config.fil.placement == "banded":
+            n_groups = n_cgroups * n_wgroups
+            n_lines = self.config.logical_capacity // self.config.superpage_size
+            band = min(n_groups - 1, line_id * n_groups // max(1, n_lines))
+            # channel-major: adjacent bands share a channel, so a tenant
+            # holding a contiguous run of bands owns whole channels (bus
+            # isolation), not just whole dies
+            cgroup = band // n_wgroups
+            wgroup = band % n_wgroups
+        else:
+            cgroup = line_id % n_cgroups
+            wgroup = (line_id // n_cgroups) % n_wgroups
 
         order = self.config.fil.parallelism_order
         units: List[int] = []

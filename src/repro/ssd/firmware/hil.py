@@ -18,6 +18,7 @@ from repro.common.iorequest import IOKind
 from repro.sim import AllOf
 from repro.ssd.computation.cores import CpuComplex
 from repro.ssd.config import SSDConfig
+from repro.ssd.firmware.arbiter import make_arbiter
 from repro.ssd.firmware.icl import InternalCacheLayer
 from repro.ssd.firmware.requests import DeviceCommand, split_command
 
@@ -32,9 +33,10 @@ class HostInterfaceLayer:
         self._queues: "OrderedDict[int, Deque[DeviceCommand]]" = OrderedDict()
         self._pending = 0
         self._wakeup = None
+        self._slot_wakeup = None
         self._fetch_mix = InstructionMix.typical(config.costs.hil_fetch)
         self._complete_mix = InstructionMix.typical(config.costs.hil_complete)
-        self._rr_cursor = 0
+        self.arbiter = make_arbiter(config.hil)
         self.commands_fetched = 0
         self.commands_completed = 0
         self.in_flight = 0
@@ -63,29 +65,11 @@ class HostInterfaceLayer:
     def _next_command(self) -> Optional[DeviceCommand]:
         if self._pending == 0:
             return None
-        policy = self.config.hil.arbitration
         queue_ids = [qid for qid, q in self._queues.items() if q]
         if not queue_ids:
             return None
-        if policy == "fifo":
-            # oldest command across all queues
-            oldest = min(queue_ids, key=lambda qid: self._queues[qid][0].cmd_id)
-            cmd = self._queues[oldest].popleft()
-        elif policy == "rr":
-            self._rr_cursor += 1
-            chosen = queue_ids[self._rr_cursor % len(queue_ids)]
-            cmd = self._queues[chosen].popleft()
-        else:  # wrr: higher-priority classes get proportionally more turns
-            weights = self.config.hil.wrr_weights
-            best = None
-            for qid in queue_ids:
-                head = self._queues[qid][0]
-                cls = min(head.priority, len(weights) - 1)
-                # effective age: weighted so high classes jump the line
-                score = head.cmd_id / max(1, weights[cls])
-                if best is None or score < best[0]:
-                    best = (score, qid)
-            cmd = self._queues[best[1]].popleft()
+        chosen = self.arbiter.grant(self._queues, queue_ids)
+        cmd = self._queues[chosen].popleft()
         self._pending -= 1
         return cmd
 
@@ -93,6 +77,11 @@ class HostInterfaceLayer:
 
     def _fetch_loop(self):
         while True:
+            limit = self.config.hil.inflight_limit
+            if limit and self.in_flight >= limit:
+                self._slot_wakeup = self.sim.event()
+                yield self._slot_wakeup
+                continue
             cmd = self._next_command()
             if cmd is None:
                 self._wakeup = self.sim.event()
@@ -128,6 +117,9 @@ class HostInterfaceLayer:
             cmd.done_event.succeed(result)
         finally:
             self.in_flight -= 1
+            if self._slot_wakeup is not None:
+                event, self._slot_wakeup = self._slot_wakeup, None
+                event.succeed()
 
     def _serve_rw(self, cmd: DeviceCommand) -> Optional[bytes]:
         lines = split_command(cmd, self.config.geometry.page_size,

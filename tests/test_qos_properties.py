@@ -1,0 +1,236 @@
+"""Property battery for the HIL submission-queue arbiters.
+
+The arbiters are driven directly — no simulator — through a saturation
+harness: every queue is always backlogged, arrivals are interleaved
+round-robin from a common ``cmd_id`` base, and each grant is replenished
+immediately.  Under that regime the fairness contracts are sharp:
+
+* **WRR convergence** — grant shares converge to the priority-class
+  weight ratios;
+* **WFQ convergence** — grant shares converge to the per-queue
+  ``qos_weights``, and with *mixed request sizes* the shares hold in
+  sectors served (weighted max-min fairness), not just command counts;
+* **no starvation** — every backlogged queue is granted service within
+  a bounded window, for every discipline;
+* **grant conservation** — every grant picks a backlogged queue and the
+  per-queue counters sum exactly to the number of selections made.
+"""
+
+from collections import deque
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.iorequest import IOKind
+from repro.ssd.config import HILConfig
+from repro.ssd.firmware.arbiter import (
+    ARBITERS,
+    FifoArbiter,
+    RoundRobinArbiter,
+    WeightedRoundRobinArbiter,
+    WfqArbiter,
+    make_arbiter,
+)
+from repro.ssd.firmware.requests import DeviceCommand
+
+
+def _cmd(cmd_id, qid, priority=1, nsectors=8):
+    """A DeviceCommand with a harness-controlled (not global) cmd_id."""
+    return DeviceCommand(IOKind.READ, 0, nsectors, queue_id=qid,
+                         priority=priority, cmd_id=cmd_id)
+
+
+class _Saturator:
+    """Keep every queue backlogged; replenish with interleaved cmd_ids.
+
+    Arrival order is round-robin across queues starting from ``cmd_id``
+    1, so effective ages start aligned — the steady-state regime the
+    convergence properties are stated for.
+    """
+
+    def __init__(self, qids, priority_of=None, nsectors_of=None,
+                 depth=4):
+        self.qids = list(qids)
+        self.priority_of = priority_of or (lambda q: 1)
+        self.nsectors_of = nsectors_of or (lambda q: 8)
+        self.queues = {q: deque() for q in self.qids}
+        self._next_id = 1
+        self.served = {q: 0 for q in self.qids}
+        self.sectors = {q: 0 for q in self.qids}
+        for _ in range(depth):
+            for q in self.qids:
+                self._arrive(q)
+
+    def _arrive(self, qid):
+        self.queues[qid].append(_cmd(self._next_id, qid,
+                                     self.priority_of(qid),
+                                     self.nsectors_of(qid)))
+        self._next_id += 1
+
+    def drive(self, arbiter, grants):
+        """Run ``grants`` selections, asserting basic sanity throughout."""
+        for _ in range(grants):
+            backlogged = [q for q in self.qids if self.queues[q]]
+            chosen = arbiter.grant(self.queues, backlogged)
+            assert chosen in backlogged, \
+                f"{arbiter.name} granted a queue with no commands"
+            head = self.queues[chosen].popleft()
+            self.served[chosen] += 1
+            self.sectors[chosen] += head.nsectors
+            self._arrive(chosen)
+        return self.served
+
+
+# -- registry / construction --------------------------------------------------
+
+
+def test_make_arbiter_dispatches_every_policy():
+    expected = {"fifo": FifoArbiter, "rr": RoundRobinArbiter,
+                "wrr": WeightedRoundRobinArbiter, "wfq": WfqArbiter}
+    assert set(ARBITERS) == set(expected)
+    for name, cls in expected.items():
+        arbiter = make_arbiter(HILConfig(arbitration=name))
+        assert type(arbiter) is cls
+        assert arbiter.name == name
+
+
+def test_make_arbiter_rejects_unknown_policy():
+    with pytest.raises(ValueError, match="unknown arbitration"):
+        make_arbiter(HILConfig(arbitration="warp"))
+
+
+# -- exact decision sequences (the bit-identity surface) ----------------------
+
+
+def test_fifo_serves_global_arrival_order():
+    sat = _Saturator([1, 2, 3])
+    arbiter = make_arbiter(HILConfig(arbitration="fifo"))
+    order = []
+    for _ in range(6):
+        backlogged = [q for q in sat.qids if sat.queues[q]]
+        qid = arbiter.grant(sat.queues, backlogged)
+        order.append(sat.queues[qid].popleft().cmd_id)
+    assert order == [1, 2, 3, 4, 5, 6]
+
+
+def test_rr_cycles_evenly_over_backlogged_queues():
+    sat = _Saturator([1, 2, 3])
+    arbiter = make_arbiter(HILConfig(arbitration="rr"))
+    served = sat.drive(arbiter, 300)
+    assert served == {1: 100, 2: 100, 3: 100}
+
+
+def test_wrr_exact_shares_for_default_weights():
+    # three queues, one per priority class, default weights (4, 2, 1)
+    sat = _Saturator([1, 2, 3], priority_of=lambda q: q - 1, depth=800)
+    arbiter = make_arbiter(HILConfig(arbitration="wrr"))
+    served = sat.drive(arbiter, 700)
+    assert served == {1: 400, 2: 200, 3: 100}
+
+
+def test_wfq_exact_shares_for_eight_to_one():
+    hil = HILConfig(arbitration="wfq", qos_weights=(8, 1))
+    sat = _Saturator([1, 2], depth=1000)
+    served = sat.drive(make_arbiter(hil), 900)
+    assert served == {1: 800, 2: 100}
+
+
+# -- convergence properties ---------------------------------------------------
+
+
+@settings(max_examples=25, deadline=None)
+@given(weights=st.tuples(st.integers(1, 8), st.integers(1, 8),
+                         st.integers(1, 8)))
+def test_wrr_shares_converge_to_class_weights(weights):
+    hil = HILConfig(arbitration="wrr", wrr_weights=weights)
+    total = 200 * sum(weights)
+    sat = _Saturator([1, 2, 3], priority_of=lambda q: q - 1,
+                     depth=total + 1)
+    served = sat.drive(make_arbiter(hil), total)
+    weight_sum = sum(weights)
+    for qid in (1, 2, 3):
+        fair = total * weights[qid - 1] / weight_sum
+        assert abs(served[qid] - fair) <= 0.05 * total + weight_sum, \
+            f"wrr share for class {qid - 1}: {served[qid]} vs fair {fair}"
+
+
+@settings(max_examples=25, deadline=None)
+@given(weights=st.tuples(st.integers(1, 8), st.integers(1, 8)))
+def test_wfq_shares_converge_to_queue_weights(weights):
+    hil = HILConfig(arbitration="wfq", qos_weights=weights)
+    total = 150 * sum(weights)
+    sat = _Saturator([1, 2], depth=total + 1)
+    served = sat.drive(make_arbiter(hil), total)
+    weight_sum = sum(weights)
+    for qid in (1, 2):
+        fair = total * weights[qid - 1] / weight_sum
+        assert abs(served[qid] - fair) <= 0.05 * total + weight_sum
+
+
+@settings(max_examples=25, deadline=None)
+@given(weights=st.tuples(st.integers(1, 6), st.integers(1, 6)),
+       sizes=st.tuples(st.sampled_from([8, 16, 32, 128]),
+                       st.sampled_from([8, 16, 32, 128])))
+def test_wfq_is_fair_in_sectors_under_mixed_sizes(weights, sizes):
+    """WFQ equalizes *sectors served / weight*, not command counts."""
+    hil = HILConfig(arbitration="wfq", qos_weights=weights)
+    sat = _Saturator([1, 2], nsectors_of=lambda q: sizes[q - 1], depth=2000)
+    sat.drive(make_arbiter(hil), 1500)
+    per_weight = [sat.sectors[q] / weights[q - 1] for q in (1, 2)]
+    # equal within a few head-of-line commands' worth of sectors
+    slack = 4 * max(sizes) / min(weights)
+    assert abs(per_weight[0] - per_weight[1]) <= slack, \
+        f"sector shares {sat.sectors} not weight-fair {weights}"
+
+
+# -- starvation freedom -------------------------------------------------------
+
+
+@settings(max_examples=20, deadline=None)
+@given(policy=st.sampled_from(sorted(ARBITERS)),
+       n_queues=st.integers(2, 5))
+def test_no_backlogged_queue_starves(policy, n_queues):
+    hil = HILConfig(arbitration=policy, wrr_weights=(4, 2, 1),
+                    qos_weights=tuple(range(n_queues, 0, -1)))
+    qids = list(range(1, n_queues + 1))
+    total = 400 * n_queues
+    sat = _Saturator(qids, priority_of=lambda q: (q - 1) % 3,
+                     depth=total + 1)
+    served = sat.drive(make_arbiter(hil), total)
+    assert min(served.values()) > 0, \
+        f"{policy} starved a queue over {total} grants: {served}"
+
+
+# -- grant conservation -------------------------------------------------------
+
+
+@settings(max_examples=20, deadline=None)
+@given(policy=st.sampled_from(sorted(ARBITERS)),
+       grants=st.integers(1, 500))
+def test_grant_counters_conserve(policy, grants):
+    hil = HILConfig(arbitration=policy, qos_weights=(3, 1, 2))
+    sat = _Saturator([1, 2, 3], depth=grants + 1)
+    arbiter = make_arbiter(hil)
+    served = sat.drive(arbiter, grants)
+    assert arbiter.total_grants() == grants
+    assert sum(arbiter.grants.values()) == grants
+    assert arbiter.grants == {q: n for q, n in served.items() if n}
+
+
+def test_wfq_idle_queue_banks_no_credit():
+    """A queue that sleeps must not starve busy queues on its return."""
+    hil = HILConfig(arbitration="wfq", qos_weights=(1, 1))
+    arbiter = make_arbiter(hil)
+    sat = _Saturator([1, 2], depth=400)
+    # queue 2 "sleeps": serve only queue 1 for a long stretch
+    for _ in range(300):
+        arbiter.grant({1: sat.queues[1]}, [1])
+        sat.queues[1].popleft()
+        sat._arrive(1)
+    # queue 2 returns; equal weights must split service evenly from here
+    before = dict(arbiter.grants)
+    sat.drive(arbiter, 200)
+    delta1 = arbiter.grants[1] - before[1]
+    delta2 = arbiter.grants[2] - before.get(2, 0)
+    assert abs(delta1 - delta2) <= 2, (delta1, delta2)
