@@ -13,6 +13,15 @@ Examples::
 CLI (see ``docs/OBSERVABILITY.md``); observability is armed around the
 scenario runs, so the recorded wall clocks include its overhead — use
 plain runs for trajectory points.
+
+``--compare`` doubles as a regression gate: the events/sec table is
+printed per scenario and the process exits nonzero when any scenario
+dropped more than ``--regress-threshold`` percent (default 15).
+``--self-profile BASE`` arms the wall-clock self-profiler
+(``repro.obs.profiler``; ``--profile`` here already names the scenario
+*size*) and writes ``BASE.md`` + ``BASE.trace.json`` attribution
+artifacts — note the recorded wall clocks then include profiling
+overhead, so keep trajectory points unprofiled.
 """
 
 from __future__ import annotations
@@ -22,17 +31,27 @@ import datetime
 import sys
 from pathlib import Path
 
-from repro.bench.record import load_bench, run_all, write_bench
+from repro.bench.record import (
+    format_regression_table,
+    load_bench,
+    regression_table,
+    run_all,
+    worst_regression_pct,
+    write_bench,
+)
 from repro.bench.scenarios import PROFILES, SCENARIOS
 from repro.obs import (
+    disable_profiling,
     disable_telemetry,
     disable_tracing,
+    enable_profiling,
     enable_telemetry,
     enable_tracing,
     metric_snapshots,
     tracers,
     write_chrome_trace,
     write_metrics_csv,
+    write_profile,
     write_report,
 )
 
@@ -49,7 +68,15 @@ def main(argv=None) -> int:
     parser.add_argument("--scenario", action="append", choices=SCENARIOS,
                         help="run only this scenario (repeatable)")
     parser.add_argument("--compare", type=Path, default=None,
-                        help="previous BENCH_*.json to embed as baseline")
+                        help="previous BENCH_*.json to embed as baseline "
+                             "and gate regressions against")
+    parser.add_argument("--regress-threshold", type=float, default=15.0,
+                        metavar="PCT",
+                        help="max tolerated events/sec drop vs --compare "
+                             "before exiting nonzero (default 15)")
+    parser.add_argument("--self-profile", metavar="BASE",
+                        help="attribute wall time per layer; writes BASE.md "
+                             "+ BASE.trace.json (repro.obs.profiler)")
     parser.add_argument("--out", type=Path, default=None,
                         help="output path (default BENCH_<today>.json)")
     parser.add_argument("--notes", default="",
@@ -75,6 +102,8 @@ def main(argv=None) -> int:
         enable_tracing()
     if args.report:
         enable_telemetry(epoch_ns=args.epoch_ns)
+    if args.self_profile:
+        enable_profiling()
     try:
         scenarios = run_all(profile=args.profile, repeats=args.repeats,
                             names=args.scenario, verbose=True)
@@ -90,7 +119,14 @@ def main(argv=None) -> int:
             write_report(args.report,
                          title=f"benchmarks.perf {args.profile} — run report")
             print(f"  [report -> {args.report}]", file=sys.stderr)
+        if args.self_profile:
+            paths = write_profile(
+                args.self_profile,
+                title=f"benchmarks.perf {args.profile} — wall attribution")
+            print(f"  [self-profile -> {', '.join(paths)}]", file=sys.stderr)
     finally:
+        if args.self_profile:
+            disable_profiling()
         if args.report:
             disable_telemetry()
         if observing:
@@ -100,6 +136,26 @@ def main(argv=None) -> int:
                       baseline=baseline, notes=args.notes)
     for name, speedup in doc.get("speedup", {}).items():
         print(f"  speedup {name:16s} x{speedup}", file=sys.stderr)
+    if baseline is not None:
+        rows = regression_table(baseline.get("scenarios", {}), scenarios)
+        print(format_regression_table(rows, args.regress_threshold))
+        base_profile = baseline.get("profile")
+        if base_profile is not None and base_profile != args.profile:
+            # Smaller profiles amortize less fixed overhead per event, so
+            # events/sec is only comparable within one profile size.
+            print(f"note: baseline profile '{base_profile}' != current "
+                  f"'{args.profile}'; events/sec are not comparable across "
+                  "sizes — table is informational, gate skipped",
+                  file=sys.stderr)
+            return 0
+        worst = worst_regression_pct(rows)
+        if worst > args.regress_threshold:
+            print(f"FAIL: worst events/sec drop {worst:.1f}% exceeds "
+                  f"--regress-threshold {args.regress_threshold:.1f}%",
+                  file=sys.stderr)
+            return 1
+        print(f"regression gate ok: worst drop {worst:.1f}% "
+              f"<= {args.regress_threshold:.1f}%", file=sys.stderr)
     return 0
 
 

@@ -104,6 +104,48 @@ def check_wallclock(src: SourceFile) -> Iterator[Site]:
                     f"wall-clock read `{target}()` in simulation code"
 
 
+# -- SIM110: wall-clock containment -------------------------------------------
+
+#: path fragments of the modules designated to read the wall clock:
+#: benchmarking, the self-profiler, the run journal, worker lifecycle
+#: stamps and trace replay.  Checked against "/"-normalized paths.
+_WALLCLOCK_MODULES = (
+    "repro/bench/",
+    "repro/obs/profiler",
+    "repro/obs/journal",
+    "repro/fleet/runner",
+    "repro/baselines/replay",
+)
+
+
+def _in_wallclock_module(path: str) -> bool:
+    """Whether ``path`` is one of the designated wall-clock modules."""
+    normalized = path.replace(os.sep, "/")
+    return any(marker in normalized for marker in _WALLCLOCK_MODULES)
+
+
+@rule("SIM110", "wall-clock-containment",
+      "Wall-clock reads are only legal in the designated profiling "
+      "modules (repro.bench, repro.obs.profiler, repro.obs.journal, "
+      "repro.fleet.runner, repro.baselines.replay), whose outputs are "
+      "declared wall-clock-tainted side artifacts. Anywhere else, even "
+      "a *suppressed* SIM101 read is a containment leak: route it "
+      "through repro.obs.journal.wall_now or move the code into a "
+      "designated module, so `grep` over five files audits every clock "
+      "in the tree.")
+def check_wallclock_containment(src: SourceFile) -> Iterator[Site]:
+    if _in_wallclock_module(src.path):
+        return
+    aliases = _import_aliases(src.tree)
+    for node in ast.walk(src.tree):
+        if isinstance(node, ast.Call):
+            target = _resolve_call(node.func, aliases)
+            if target in _WALLCLOCK:
+                yield node, node.col_offset, \
+                    f"wall-clock read `{target}()` outside the designated " \
+                    "profiling modules"
+
+
 # -- SIM102: unseeded randomness ----------------------------------------------
 
 _GLOBAL_RNG_FNS = {

@@ -99,3 +99,64 @@ def compare_runs(baseline: Dict[str, Dict],
             continue
         out[name] = round(base["wall_seconds"] / entry["wall_seconds"], 3)
     return out
+
+
+def regression_table(baseline: Dict[str, Dict],
+                     current: Dict[str, Dict]) -> list:
+    """Per-scenario events/sec delta rows for the ``--compare`` gate.
+
+    Each row maps ``scenario``/``baseline_eps``/``current_eps``/
+    ``delta_pct`` (positive = faster, negative = regression).  Only
+    scenarios present in both runs with nonzero throughput appear; the
+    comparison axis is events/sec rather than raw wall seconds so
+    differently-sized profiles of the same scenario stay comparable.
+    """
+    rows = []
+    for name in sorted(current):
+        base = baseline.get(name) or {}
+        base_eps = base.get("events_per_sec") or 0.0
+        cur_eps = (current[name] or {}).get("events_per_sec") or 0.0
+        if not base_eps or not cur_eps:
+            continue
+        rows.append({
+            "scenario": name,
+            "baseline_eps": base_eps,
+            "current_eps": cur_eps,
+            "delta_pct": round((cur_eps - base_eps) / base_eps * 100.0, 2),
+        })
+    return rows
+
+
+def worst_regression_pct(rows) -> float:
+    """Largest events/sec *drop* across rows, as a positive percent.
+
+    0.0 when nothing regressed (or there was nothing to compare) — the
+    value the CLI holds against ``--regress-threshold``.
+    """
+    worst = 0.0
+    for row in rows:
+        drop = -row["delta_pct"]
+        if drop > worst:
+            worst = drop
+    return worst
+
+
+def format_regression_table(rows, threshold_pct: float = 15.0) -> str:
+    """Render regression rows as the Markdown table the CLI prints.
+
+    Rows whose drop exceeds ``threshold_pct`` are flagged ``REGRESSED``;
+    improvements are marked ``ok (faster)``.
+    """
+    if not rows:
+        return "(no comparable scenarios)"
+    out = ["| scenario | baseline ev/s | current ev/s | delta | verdict |",
+           "|---|---:|---:|---:|---|"]
+    for row in rows:
+        drop = -row["delta_pct"]
+        verdict = ("REGRESSED" if drop > threshold_pct
+                   else "ok (faster)" if row["delta_pct"] > 0 else "ok")
+        out.append(f"| `{row['scenario']}` "
+                   f"| {row['baseline_eps']:,.0f} "
+                   f"| {row['current_eps']:,.0f} "
+                   f"| {row['delta_pct']:+.1f}% | {verdict} |")
+    return "\n".join(out)

@@ -14,7 +14,10 @@ stdout.  ``--metrics`` dumps each system's end-of-run metric snapshot
 as CSV.  ``--report`` arms telemetry epochs (and tracing) and renders
 time-series, latency histograms and the span breakdown into one
 self-contained HTML or Markdown artifact; ``--epoch-ns`` tunes the
-sampling period.  See ``docs/OBSERVABILITY.md``.
+sampling period.  ``--profile BASE`` arms the wall-clock self-profiler
+(:mod:`repro.obs.profiler`) and writes ``BASE.md`` +
+``BASE.trace.json`` showing which layer burned the host time.  See
+``docs/OBSERVABILITY.md``.
 """
 
 from __future__ import annotations
@@ -25,8 +28,10 @@ import sys
 import time
 
 from repro.obs import (
+    disable_profiling,
     disable_telemetry,
     disable_tracing,
+    enable_profiling,
     enable_telemetry,
     enable_tracing,
     format_breakdown,
@@ -36,6 +41,7 @@ from repro.obs import (
     tracers,
     write_chrome_trace,
     write_metrics_csv,
+    write_profile,
     write_report,
 )
 
@@ -89,6 +95,9 @@ def main(argv=None) -> int:
     parser.add_argument("--epoch-ns", type=int, default=100_000,
                         help="telemetry sampling period in simulated ns "
                              "(used with --report; default 100000)")
+    parser.add_argument("--profile", metavar="BASE",
+                        help="attribute wall time per layer; writes BASE.md "
+                             "+ BASE.trace.json (repro.obs.profiler)")
     args = parser.parse_args(argv)
 
     if args.list or not args.experiment:
@@ -108,10 +117,12 @@ def main(argv=None) -> int:
         enable_tracing()
     if args.report:
         enable_telemetry(epoch_ns=args.epoch_ns)
+    if args.profile:
+        enable_profiling()
     try:
-        started = time.perf_counter()  # simlint: disable=SIM101 -- wall-clock progress display only; never enters results
+        started = time.perf_counter()  # simlint: disable=SIM101, SIM110 -- wall-clock progress display only; never enters results
         result = module.run(quick=not args.full)
-        elapsed = time.perf_counter() - started  # simlint: disable=SIM101 -- wall-clock progress display only; never enters results
+        elapsed = time.perf_counter() - started  # simlint: disable=SIM101, SIM110 -- wall-clock progress display only; never enters results
         print(module.render(result))
         if args.trace:
             n_events = write_chrome_trace(args.trace, tracers())
@@ -129,7 +140,14 @@ def main(argv=None) -> int:
             write_report(args.report,
                          title=f"{EXPERIMENTS[args.experiment]} — run report")
             print(f"\n[report -> {args.report}]")
+        if args.profile:
+            paths = write_profile(
+                args.profile,
+                title=f"{EXPERIMENTS[args.experiment]} — wall attribution")
+            print(f"\n[self-profile -> {', '.join(paths)}]")
     finally:
+        if args.profile:
+            disable_profiling()
         if args.report:
             disable_telemetry()
         if observing:

@@ -9,11 +9,18 @@ derive from those hashes, a resumable content-addressed
 :class:`ResultStore`, and merged reports built from the mergeable
 streaming histograms of :mod:`repro.obs`.
 
+Running sweeps also stream a live NDJSON run journal beside the store
+(:mod:`repro.fleet.watch` + :mod:`repro.obs.journal`): ``watch`` and
+``status --follow`` tail it to show running/failed/ETA per job and emit
+streaming partial reports that converge byte-identically to the final
+``report``.
+
 Entry points::
 
     python -m repro.fleet plan   --builtin smoke4
     python -m repro.fleet run    --builtin smoke4 --store out/ --jobs 4
-    python -m repro.fleet status --builtin smoke4 --store out/
+    python -m repro.fleet status --builtin smoke4 --store out/ [--follow]
+    python -m repro.fleet watch  --builtin smoke4 --store out/ --out live.md
     python -m repro.fleet report --builtin smoke4 --store out/ --out fleet.md
 
 See ``docs/FLEET.md`` for the spec schema, hash/resume semantics and
@@ -37,6 +44,12 @@ from repro.fleet.scenarios import (
 )
 from repro.fleet.spec import Job, SweepSpec, config_hash, derive_seed
 from repro.fleet.store import ResultStore
+from repro.fleet.watch import (
+    journal_status,
+    render_status,
+    watch,
+    write_partial_report,
+)
 
 __all__ = [
     "Job",
@@ -47,15 +60,19 @@ __all__ = [
     "builtin_specs",
     "config_hash",
     "derive_seed",
+    "journal_status",
     "merge_results",
     "merged_json",
     "render_html",
     "render_markdown",
+    "render_status",
     "run_one_job",
     "run_scenario",
     "run_sweep",
     "scenario",
     "spec_names",
     "sweep_status",
+    "watch",
     "write_fleet_report",
+    "write_partial_report",
 ]

@@ -5,15 +5,22 @@ Usage::
     python -m repro.fleet plan   --builtin smoke4
     python -m repro.fleet run    --spec sweep.json --store out/ --jobs 4
     python -m repro.fleet run    --builtin smoke4 --store out/ --resume
-    python -m repro.fleet status --builtin smoke4 --store out/
+    python -m repro.fleet status --builtin smoke4 --store out/ [--follow]
+    python -m repro.fleet watch  --builtin smoke4 --store out/ --out partial.md
     python -m repro.fleet report --builtin smoke4 --store out/ --out fleet.md
     python -m repro.fleet --list
 
 ``run --resume`` skips configurations whose hash already has a stored
 result; ``run --dry-run`` prints the plan (including what resume would
-skip) without simulating.  Reports render Markdown or HTML by file
-suffix; ``--json`` on ``report`` writes the canonical merged document
-instead.  See ``docs/FLEET.md``.
+skip) without simulating.  Runs journal lifecycle events beside the
+store by default (``--no-journal`` opts out, ``--profile`` adds
+per-layer wall-time attribution to the journal); ``status`` folds the
+journal in to tell running and failed jobs apart from never-started
+ones, and ``watch`` / ``status --follow`` tail the journal live,
+optionally rewriting a streaming partial report that converges
+byte-identically to the final ``report``.  Reports render Markdown or
+HTML by file suffix; ``--json`` on ``report`` writes the canonical
+merged document instead.  See ``docs/FLEET.md``.
 """
 
 from __future__ import annotations
@@ -26,6 +33,7 @@ from repro.fleet.runner import run_sweep, sweep_status
 from repro.fleet.scenarios import SCENARIOS, builtin_specs, spec_names
 from repro.fleet.spec import SweepSpec
 from repro.fleet.store import ResultStore
+from repro.fleet.watch import journal_status, render_status, watch
 
 
 def _load_spec(args) -> SweepSpec:
@@ -86,10 +94,38 @@ def main(argv=None) -> int:
                      help="skip configurations that already have results")
     run.add_argument("--dry-run", action="store_true",
                      help="print the plan without simulating")
+    run.add_argument("--no-journal", action="store_true",
+                     help="skip the NDJSON run journal beside the store")
+    run.add_argument("--heartbeat", type=float, default=2.0, metavar="SEC",
+                     help="min wall seconds between journal heartbeats "
+                          "(default 2.0)")
+    run.add_argument("--profile", action="store_true",
+                     help="wall-clock self-profile each job; per-layer "
+                          "attribution lands in the journal")
 
-    status = sub.add_parser("status", help="done/missing counts for a sweep")
+    status = sub.add_parser("status",
+                            help="done/running/failed/pending for a sweep")
     _add_spec_args(status)
     status.add_argument("--store", metavar="DIR", required=True)
+    status.add_argument("--follow", action="store_true",
+                        help="keep refreshing until the sweep settles")
+    status.add_argument("--interval", type=float, default=2.0, metavar="SEC",
+                        help="refresh period with --follow (default 2.0)")
+
+    watch_cmd = sub.add_parser(
+        "watch", help="tail a sweep's journal with streaming partial reports")
+    _add_spec_args(watch_cmd)
+    watch_cmd.add_argument("--store", metavar="DIR", required=True)
+    watch_cmd.add_argument("--interval", type=float, default=2.0,
+                           metavar="SEC",
+                           help="refresh period (default 2.0)")
+    watch_cmd.add_argument("--once", action="store_true",
+                           help="print one snapshot and exit")
+    watch_cmd.add_argument("--out", metavar="OUT.md|OUT.html",
+                           help="rewrite a streaming partial report each "
+                                "tick (converges to the final report)")
+    watch_cmd.add_argument("--json", action="store_true",
+                           help="emit the status document as JSON lines")
 
     report = sub.add_parser("report", help="merge a sweep into one artifact")
     _add_spec_args(report)
@@ -125,18 +161,43 @@ def main(argv=None) -> int:
             _print_plan(spec, store)
             return 0
         summary = run_sweep(spec, store, jobs=args.jobs, resume=args.resume,
-                            progress=lambda msg: print(msg, file=sys.stderr))
+                            progress=lambda msg: print(msg, file=sys.stderr),
+                            journal=not args.no_journal,
+                            heartbeat_s=args.heartbeat,
+                            profile=args.profile)
         print(f"{spec.name}: executed {len(summary.executed)}, "
               f"cached {len(summary.skipped)}, "
               f"planned {summary.planned} -> {store.root}")
         return 0
 
     if args.command == "status":
+        if args.follow:
+            doc = watch(spec, store, emit=print, interval_s=args.interval)
+            return 0 if not doc["missing"] else 1
         state = sweep_status(spec, store)
-        print(f"{state['spec']}: {state['done']}/{state['planned']} done")
-        for job_hash in state["missing"]:
+        live = journal_status(spec, store)
+        print(f"{state['spec']}: {state['done']}/{state['planned']} done, "
+              f"{len(live['running'])} running, "
+              f"{len(live['failed'])} failed, "
+              f"{len(live['pending'])} pending")
+        for entry in live["running"]:
+            print(f"  running {entry['job'][:16]}  pid={entry['pid']}  "
+                  f"sim={entry['sim_ns']}ns")
+        for entry in live["failed"]:
+            print(f"  failed  {entry['job'][:16]}  {entry['error']}: "
+                  f"{entry['message']}")
+        for job_hash in live["pending"]:
             print(f"  missing {job_hash[:16]}")
         return 0 if not state["missing"] else 1
+
+    if args.command == "watch":
+        doc = watch(spec, store, emit=print, interval_s=args.interval,
+                    once=args.once, partial_out=args.out,
+                    as_json=args.json)
+        if args.out:
+            print(f"[partial report: {doc['done']}/{doc['planned']} configs "
+                  f"-> {args.out}]")
+        return 0 if not doc["missing"] else 1
 
     # report
     doc = merge_results(spec, store)

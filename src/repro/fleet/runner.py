@@ -15,16 +15,33 @@ Determinism contract (pinned by ``tests/test_fleet.py``):
 ``resume=True`` skips any job whose hash already has a stored result,
 which is also what makes a killed overnight sweep restartable: rerun
 the same command and only the missing configurations execute.
+
+Liveness sits *beside* that contract, never inside it: by default each
+worker also appends lifecycle events to ``<store>/journal.ndjson``
+(:mod:`repro.obs.journal`) so ``python -m repro.fleet watch`` can show
+in-flight progress and a crashed worker is distinguishable from a
+never-started job.  The journal is wall-clock-tainted by design and
+excluded from the byte-identical store diff; the *result payloads* stay
+bit-identical with journaling (and ``--profile``) on or off, which
+``tests/test_fleet_watch.py`` pins.
+
+This module is one of simlint's designated wall-clock modules (SIM110):
+worker lifecycle stamps are exactly the wall-clock reads the journal
+exists for.
 """
 
 from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Tuple, Union
 
 from repro.fleet.spec import Job, SweepSpec, derive_seed
 from repro.fleet.store import ResultStore
+from repro.obs import journal as _journal
+from repro.obs import profiler as _profiler
+from repro.obs import telemetry as _telemetry
 
 
 @dataclass
@@ -41,22 +58,96 @@ class RunSummary:
                 "skipped": sorted(self.skipped)}
 
 
-def run_one_job(job: Job) -> Tuple[str, Dict]:
+def _flightrec_dumps(directory: Path) -> List[str]:
+    """File names of flight-recorder post-mortems in ``directory``."""
+    if not directory.is_dir():
+        return []
+    return sorted(p.name for p in directory.glob("flightrec-*.json"))
+
+
+def run_one_job(job: Job,
+                journal_path: Optional[Union[str, Path]] = None,
+                heartbeat_s: float = 2.0,
+                profile: bool = False) -> Tuple[str, Dict]:
     """Execute a single planned job; the unit of work a worker runs.
 
     Module-level (not a closure) so it pickles under any multiprocessing
     start method.  The scenario seed comes from the job's config hash —
     simlint's SIM109 rule guards this property for every worker entry
     point in the tree.
+
+    With ``journal_path`` set, the job's lifecycle is appended to that
+    NDJSON journal: ``job_started``, throttled ``heartbeat`` /
+    ``epoch_sampled`` pairs while the simulator advances (telemetry is
+    armed for the duration if it wasn't already — proven bit-identical,
+    so the returned result is unchanged), then ``job_completed`` — or
+    ``job_failed`` with the error and any ``flightrec-*.json``
+    post-mortems the failure dumped beside the journal.  ``profile=True``
+    additionally arms the wall-clock self-profiler and records the
+    per-layer attribution in the ``job_completed`` event.
     """
     from repro.fleet.scenarios import run_scenario
     seed = derive_seed(job.config_hash)
-    return job.config_hash, run_scenario(job.params, seed)
+    if journal_path is None and not profile:
+        return job.config_hash, run_scenario(job.params, seed)
+
+    journal = (None if journal_path is None
+               else _journal.RunJournal(journal_path))
+    dump_dir = (None if journal is None else journal.path.parent)
+    own_telemetry = journal is not None and not _telemetry.telemetry_enabled()
+    own_profiler = profile and not _profiler.profiling_enabled()
+    dumps_before = [] if dump_dir is None else _flightrec_dumps(dump_dir)
+    try:
+        if own_telemetry:
+            _telemetry.enable_telemetry(dump_dir=str(dump_dir))
+        if own_profiler:
+            _profiler.enable_profiling()
+        if journal is not None:
+            _journal.begin_job(journal, job.config_hash,
+                               heartbeat_s=heartbeat_s)
+        try:
+            result = run_scenario(job.params, seed)
+        except BaseException as error:
+            if journal is not None:
+                new_dumps = [name for name
+                             in _flightrec_dumps(dump_dir)  # type: ignore[arg-type]
+                             if name not in dumps_before]
+                if not new_dumps:
+                    # failure escaped outside run_process (setup code,
+                    # bad params): dump the post-mortem ourselves
+                    for probe in _telemetry.probes()[-1:]:
+                        path = probe.on_failure(error)
+                        if path:
+                            new_dumps.append(Path(path).name)
+                _journal.end_job("job_failed", error=type(error).__name__,
+                                 message=str(error), flightrec=new_dumps)
+            raise
+        if journal is not None:
+            facts = {key: result[key]
+                     for key in ("events_processed", "sim_time_ns")
+                     if isinstance(result, dict) and key in result}
+            if profile:
+                doc = _profiler.attribution()
+                facts["profile"] = {
+                    name: round(entry["seconds"], 6)
+                    for name, entry in sorted(doc["layers"].items())}
+            _journal.end_job("job_completed", **facts)
+        return job.config_hash, result
+    finally:
+        if journal is not None:
+            _journal.end_job("job_failed", error="Interrupted",
+                             message="worker exited without a terminal event")
+        if own_profiler:
+            _profiler.disable_profiling()
+        if own_telemetry:
+            _telemetry.disable_telemetry()
 
 
 def run_sweep(spec: SweepSpec, store: ResultStore, jobs: int = 1,
               resume: bool = True,
-              progress: Optional[Callable[[str], None]] = None) -> RunSummary:
+              progress: Optional[Callable[[str], None]] = None,
+              journal: bool = True, heartbeat_s: float = 2.0,
+              profile: bool = False) -> RunSummary:
     """Run every job of ``spec`` into ``store``; returns the summary.
 
     ``jobs=1`` executes inline in this process (no pool), in
@@ -64,9 +155,18 @@ def run_sweep(spec: SweepSpec, store: ResultStore, jobs: int = 1,
     ``ProcessPoolExecutor``; completion order is nondeterministic but
     harmless (see module doc).  ``resume=False`` re-executes and
     overwrites even configurations that already have results.
+
+    ``journal=True`` (the default) streams per-job lifecycle events into
+    ``<store>/journal.ndjson`` for ``watch``/``status --follow``;
+    ``heartbeat_s`` throttles the in-flight heartbeats; ``profile=True``
+    arms the wall-clock self-profiler per job and journals the
+    per-layer attribution.  None of the three can perturb stored
+    results (see :func:`run_one_job`).
     """
     if jobs < 1:
         raise ValueError("jobs must be >= 1")
+    journal_path = (_journal.journal_path_for(store.root)
+                    if journal else None)
     summary = RunSummary()
     planned = sorted(spec.expand(), key=lambda job: job.config_hash)
     summary.planned = len(planned)
@@ -88,7 +188,9 @@ def run_sweep(spec: SweepSpec, store: ResultStore, jobs: int = 1,
 
     if jobs == 1 or len(pending) <= 1:
         for job in pending:
-            job_hash, result = run_one_job(job)
+            job_hash, result = run_one_job(job, journal_path=journal_path,
+                                           heartbeat_s=heartbeat_s,
+                                           profile=profile)
             store.put(job_hash, job.params, result)
             summary.executed.append(job_hash)
             note(f"done {job_hash[:12]} "
@@ -97,7 +199,9 @@ def run_sweep(spec: SweepSpec, store: ResultStore, jobs: int = 1,
 
     by_hash = {job.config_hash: job for job in pending}
     with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
-        futures = {pool.submit(run_one_job, job): job for job in pending}
+        futures = {pool.submit(run_one_job, job, journal_path,
+                               heartbeat_s, profile): job
+                   for job in pending}
         for future in as_completed(futures):
             job_hash, result = future.result()
             store.put(job_hash, by_hash[job_hash].params, result)

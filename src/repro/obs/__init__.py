@@ -25,6 +25,15 @@ simulators carry the shared :data:`NULL_TRACER` and a ``None`` probe
 until :func:`repro.obs.runtime.enable_tracing` /
 :func:`repro.obs.telemetry.enable_telemetry` are called (e.g. by
 ``python -m repro.experiments <fig> --trace out.json --report out.html``).
+
+Two wall-clock substrates complete the picture (both deliberately
+outside the simulated-time determinism contract): the **run journal**
+(:mod:`repro.obs.journal`) streams NDJSON lifecycle events beside a
+fleet result store for ``python -m repro.fleet watch``, and the
+**self-profiler** (:mod:`repro.obs.profiler`) attributes host wall time
+per layer (``--profile`` / ``--self-profile`` on the CLIs).  Both are
+off by default and zero-cost when off, and neither ever perturbs
+simulated results.
 """
 
 from repro.obs.export import (
@@ -37,7 +46,30 @@ from repro.obs.export import (
 )
 from repro.obs.flightrec import FlightRecorder
 from repro.obs.histogram import LogHistogram
+from repro.obs.journal import (
+    JOURNAL_NAME,
+    RunJournal,
+    active_job,
+    begin_job,
+    end_job,
+    journal_path_for,
+    wall_now,
+)
 from repro.obs.metrics import Counter, Gauge, MetricsRegistry, ScopedRegistry
+from repro.obs.profiler import (
+    WallProfiler,
+    attribution,
+    attribution_markdown,
+    chrome_profile_trace,
+    disable_profiling,
+    enable_profiling,
+    hottest_layers,
+    profiler_for,
+    profilers,
+    profiling_enabled,
+    write_profile,
+    write_profile_trace,
+)
 from repro.obs.report import gather, render_html, render_markdown, write_report
 from repro.obs.runtime import (
     collect_metrics,
@@ -93,12 +125,31 @@ __all__ = [
     "tracers",
     "tracing_enabled",
     "FlightRecorder",
+    "JOURNAL_NAME",
     "LogHistogram",
+    "RunJournal",
     "TelemetryProbe",
     "TimeSeries",
+    "WallProfiler",
+    "active_job",
+    "attribution",
+    "attribution_markdown",
+    "begin_job",
+    "chrome_profile_trace",
+    "disable_profiling",
     "disable_telemetry",
+    "enable_profiling",
     "enable_telemetry",
+    "end_job",
     "gather",
+    "hottest_layers",
+    "journal_path_for",
+    "profiler_for",
+    "profilers",
+    "profiling_enabled",
+    "wall_now",
+    "write_profile",
+    "write_profile_trace",
     "label_latest_probe",
     "probe_for",
     "probes",

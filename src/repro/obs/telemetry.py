@@ -45,6 +45,7 @@ _flight_events = 256
 _max_points = 512
 _dump_dir: Optional[str] = None
 _probes: List["TelemetryProbe"] = []
+_epoch_listener: Optional[Callable[["TelemetryProbe", int], None]] = None
 
 
 def telemetry_enabled() -> bool:
@@ -78,6 +79,22 @@ def disable_telemetry() -> None:
     global _active
     _active = False
     _probes.clear()
+
+
+def set_epoch_listener(
+        listener: Optional[Callable[["TelemetryProbe", int], None]]) -> None:
+    """Install (or clear, with None) the process-wide epoch listener.
+
+    The listener is called as ``listener(probe, t_ns)`` each time a
+    probe crosses an epoch boundary — *after* the metric sweep, still
+    in observation-only territory (it must not schedule events or touch
+    simulator state).  The run journal (:mod:`repro.obs.journal`) uses
+    this to emit wall-clock heartbeats while a fleet job simulates.
+    Costs one global read per crossed epoch when unset; nothing per
+    event.
+    """
+    global _epoch_listener
+    _epoch_listener = listener
 
 
 def probe_for(sim) -> Optional["TelemetryProbe"]:
@@ -172,6 +189,9 @@ class TelemetryProbe:
             if ts is None:
                 ts = series[name] = TimeSeries(name, self.max_points)
             ts.append(t, reader())
+        listener = _epoch_listener
+        if listener is not None:
+            listener(self, t)
 
     # -- failure path ------------------------------------------------------
 

@@ -18,6 +18,7 @@ from itertools import count
 from typing import Any, Iterator, Optional
 
 from repro.analysis.sanitizer import sanitizer_for
+from repro.obs.profiler import profiler_for, run_process_profiled, run_profiled
 from repro.obs.runtime import tracer_for
 from repro.obs.telemetry import probe_for
 from repro.sim.events import AllOf, AnyOf, Event, Timeout
@@ -60,6 +61,15 @@ class Simulator:
     drains — detecting causality violations, leaked resource tokens and
     stuck processes without scheduling anything, so a sanitized run is
     bit-identical to a plain one.
+
+    The fourth hook, the ``profiler`` (``None`` by default, live when
+    :func:`repro.obs.profiler.enable_profiling` was called), works
+    differently: instead of being consulted per event, its presence
+    makes ``run``/``run_process`` delegate to the profiled loop clones
+    in :mod:`repro.obs.profiler`, which wrap each dispatch in
+    ``perf_counter`` reads to attribute wall time per layer.  Profiled
+    runs stay bit-identical to plain ones (pinned by test); off, the
+    cost is one ``is None`` test per ``run`` call, nothing per event.
     """
 
     def __init__(self) -> None:
@@ -71,6 +81,7 @@ class Simulator:
         self.tracer = tracer_for(self)
         self.telemetry = probe_for(self)
         self.sanitizer = sanitizer_for(self)
+        self.profiler = profiler_for(self)
 
     def _record_orphan_failure(self, event) -> None:
         self._orphan_failures.append(event)
@@ -174,6 +185,8 @@ class Simulator:
         """Run until the queue drains or simulated time reaches ``until``."""
         if until is not None and until < self._now:
             raise ValueError("until lies in the past")
+        if self.profiler is not None:
+            return run_profiled(self, until)
         # Inlined step()/Event._process() with locals for the hot loop.
         queue = self._queue
         pop = heapq.heappop
@@ -221,6 +234,8 @@ class Simulator:
         before raising, matching :meth:`run`'s drain behaviour, so
         ``now`` never sits behind a deadline that has already passed.
         """
+        if self.profiler is not None:
+            return run_process_profiled(self, generator, until)
         proc = self.process(generator)
         queue = self._queue
         pop = heapq.heappop

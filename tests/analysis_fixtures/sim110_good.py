@@ -1,0 +1,18 @@
+"""SIM110 fixture: simulation code that keeps the wall clock contained.
+
+Timestamps come from ``sim.now``; the one display-only wall read is
+routed through the journal's blessed accessor, so no raw clock call
+appears outside the designated modules.
+"""
+
+from repro.obs.journal import wall_now
+
+
+def measure_step(sim):
+    started_ns = sim.now
+    sim.step()
+    return sim.now - started_ns
+
+
+def heartbeat_age(last_beat_wall_ts):
+    return wall_now() - last_beat_wall_ts

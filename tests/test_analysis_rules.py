@@ -24,7 +24,11 @@ FIXTURES = Path(__file__).parent / "analysis_fixtures"
 #: rules with a bad/good file pair (SIM108 is exercised on engine sources
 #: in test_analysis_selfcheck.py; SIM100 is the meta-rule, tested below)
 FIXTURE_RULES = ("SIM101", "SIM102", "SIM103", "SIM104",
-                 "SIM105", "SIM106", "SIM107", "SIM109")
+                 "SIM105", "SIM106", "SIM107", "SIM109", "SIM110")
+
+#: a path inside a designated wall-clock module (SIM110 allowlist), so
+#: suppression-semantics tests exercise SIM101/SIM100 in isolation
+_BENCH_PATH = "repro/bench/snippet.py"
 
 
 def _rule_ids(findings):
@@ -79,7 +83,7 @@ class TestSuppressions:
         source = ("import time\n"
                   "wall = time.time()  "
                   "# simlint: disable=SIM101 -- measuring lint speed\n")
-        findings = lint_source("snippet.py", source)
+        findings = lint_source(_BENCH_PATH, source)
         assert _rule_ids(findings) == set()
         suppressed = [f for f in findings if f.suppressed]
         assert len(suppressed) == 1
@@ -89,26 +93,26 @@ class TestSuppressions:
     def test_bare_suppression_is_flagged_sim100(self):
         source = ("import time\n"
                   "wall = time.time()  # simlint: disable=SIM101\n")
-        findings = lint_source("snippet.py", source)
+        findings = lint_source(_BENCH_PATH, source)
         assert _rule_ids(findings) == {META_RULE}
 
     def test_useless_suppression_is_flagged_sim100(self):
         source = "x = 1  # simlint: disable=SIM101 -- nothing here\n"
-        findings = lint_source("snippet.py", source)
+        findings = lint_source(_BENCH_PATH, source)
         assert _rule_ids(findings) == {META_RULE}
         assert "useless suppression" in findings[0].message
 
     def test_sim100_itself_cannot_be_suppressed(self):
         source = ("import time\n"
                   "wall = time.time()  # simlint: disable=SIM101, SIM100\n")
-        findings = lint_source("snippet.py", source)
+        findings = lint_source(_BENCH_PATH, source)
         assert META_RULE in _rule_ids(findings)
 
     def test_multi_rule_suppression_covers_both(self):
         source = ("import time, random\n"
                   "x = time.time() + random.random()  "
                   "# simlint: disable=SIM101, SIM102 -- fixture\n")
-        findings = lint_source("snippet.py", source)
+        findings = lint_source(_BENCH_PATH, source)
         assert _rule_ids(findings) == set()
         assert {f.rule for f in findings if f.suppressed} == \
             {"SIM101", "SIM102"}
@@ -118,7 +122,7 @@ class TestSuppressions:
                   "import time\n"
                   "wall = time.time()\n")
         assert parse_suppressions(source) == {}
-        assert _rule_ids(lint_source("snippet.py", source)) == {"SIM101"}
+        assert _rule_ids(lint_source(_BENCH_PATH, source)) == {"SIM101"}
 
     def test_unparsable_file_reports_meta_finding(self):
         findings = lint_source("broken.py", "def oops(:\n")

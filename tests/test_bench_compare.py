@@ -1,0 +1,125 @@
+"""The benchmark regression gate: ``repro.bench.record``'s events/sec
+comparison table and the ``python -m benchmarks.perf --compare`` CLI
+that prints it and exits nonzero past ``--regress-threshold``
+(``docs/PERFORMANCE.md``)."""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import repro
+from repro.bench.record import (
+    format_regression_table,
+    regression_table,
+    worst_regression_pct,
+)
+
+BASE = {"kernel_churn": {"events_per_sec": 100_000.0, "wall_seconds": 1.0},
+        "randread_nvme": {"events_per_sec": 80_000.0, "wall_seconds": 1.0}}
+
+
+class TestRegressionTable:
+    def test_delta_signs(self):
+        current = {"kernel_churn": {"events_per_sec": 120_000.0},
+                   "randread_nvme": {"events_per_sec": 40_000.0}}
+        rows = regression_table(BASE, current)
+        by_name = {row["scenario"]: row for row in rows}
+        assert by_name["kernel_churn"]["delta_pct"] == 20.0
+        assert by_name["randread_nvme"]["delta_pct"] == -50.0
+        assert worst_regression_pct(rows) == 50.0
+
+    def test_unshared_or_zero_scenarios_are_skipped(self):
+        current = {"kernel_churn": {"events_per_sec": 0.0},
+                   "brand_new": {"events_per_sec": 10.0}}
+        assert regression_table(BASE, current) == []
+        assert worst_regression_pct([]) == 0.0
+
+    def test_improvements_never_count_as_regression(self):
+        rows = regression_table(
+            BASE, {"kernel_churn": {"events_per_sec": 150_000.0}})
+        assert worst_regression_pct(rows) == 0.0
+
+    def test_markdown_flags_past_threshold(self):
+        rows = regression_table(
+            BASE, {"kernel_churn": {"events_per_sec": 70_000.0},
+                   "randread_nvme": {"events_per_sec": 85_000.0}})
+        text = format_regression_table(rows, threshold_pct=15.0)
+        assert "REGRESSED" in text
+        assert "ok (faster)" in text
+        assert "`kernel_churn`" in text
+
+    def test_markdown_with_nothing_to_compare(self):
+        assert "no comparable" in format_regression_table([])
+
+
+# -- the CLI gate -------------------------------------------------------------
+
+def _run_perf(*args, cwd):
+    src_dir = Path(repro.__file__).parents[1]
+    repo_root = src_dir.parent
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(src_dir)] + env.get("PYTHONPATH", "").split(os.pathsep))
+    return subprocess.run(
+        [sys.executable, "-m", "benchmarks.perf", "--profile", "smoke",
+         "--repeats", "1", "--scenario", "kernel_churn", *args],
+        capture_output=True, text=True, env=env, timeout=600,
+        cwd=str(repo_root))
+
+
+def _baseline_file(tmp_path, events_per_sec, profile="smoke"):
+    doc = {"schema": 2, "date": "2026-01-01", "profile": profile,
+           "notes": "fixture",
+           "scenarios": {"kernel_churn": {
+               "events_per_sec": events_per_sec, "wall_seconds": 1.0}}}
+    path = tmp_path / "BENCH_fixture.json"
+    path.write_text(json.dumps(doc))
+    return path
+
+
+class TestCompareCli:
+    def test_ok_when_faster_than_baseline(self, tmp_path):
+        baseline = _baseline_file(tmp_path, events_per_sec=1.0)
+        proc = _run_perf("--compare", str(baseline),
+                         "--out", str(tmp_path / "out.json"), cwd=tmp_path)
+        assert proc.returncode == 0, proc.stderr
+        assert "regression gate ok" in proc.stderr
+        assert "| scenario |" in proc.stdout
+
+    def test_fails_past_threshold(self, tmp_path):
+        baseline = _baseline_file(tmp_path, events_per_sec=1e12)
+        proc = _run_perf("--compare", str(baseline),
+                         "--out", str(tmp_path / "out.json"), cwd=tmp_path)
+        assert proc.returncode == 1
+        assert "FAIL" in proc.stderr and "exceeds" in proc.stderr
+        assert "REGRESSED" in proc.stdout
+
+    def test_cross_profile_baseline_skips_the_gate(self, tmp_path):
+        # events/sec is not comparable across profile sizes: the table
+        # prints, the hard gate does not fire
+        baseline = _baseline_file(tmp_path, events_per_sec=1e12,
+                                  profile="full")
+        proc = _run_perf("--compare", str(baseline),
+                         "--out", str(tmp_path / "out.json"), cwd=tmp_path)
+        assert proc.returncode == 0, proc.stderr
+        assert "gate skipped" in proc.stderr
+        assert "| scenario |" in proc.stdout
+
+    def test_threshold_is_tunable(self, tmp_path):
+        baseline = _baseline_file(tmp_path, events_per_sec=1e12)
+        proc = _run_perf("--compare", str(baseline),
+                         "--regress-threshold", "1e15",
+                         "--out", str(tmp_path / "out.json"), cwd=tmp_path)
+        assert proc.returncode == 0, proc.stderr
+
+    def test_self_profile_writes_attribution_artifacts(self, tmp_path):
+        base = tmp_path / "attr"
+        proc = _run_perf("--self-profile", str(base),
+                         "--out", str(tmp_path / "out.json"), cwd=tmp_path)
+        assert proc.returncode == 0, proc.stderr
+        markdown = (tmp_path / "attr.md").read_text()
+        assert "Top-" in markdown and "hottest layers" in markdown
+        trace = json.loads((tmp_path / "attr.trace.json").read_text())
+        assert trace["traceEvents"]
