@@ -167,6 +167,23 @@ class FullSystem:
         sim_scope.register("events_processed",
                            lambda: float(self.sim.events_processed))
         sim_scope.register("now_ns", lambda: float(self.sim.now))
+        tracer = self.sim.tracer
+        if getattr(tracer, "causal", False):
+            # causal capture armed: fold the exact per-component latency
+            # sums into the metric tree so telemetry epochs stream them
+            causal_scope = reg.scoped("causal")
+            causal_scope.register("requests",
+                                  lambda: float(tracer.records))
+            causal_scope.register("violations",
+                                  lambda: float(tracer.violations))
+            from repro.obs.causal import COMPONENTS
+
+            def _component_gauge(component: str):
+                """Bind one component's cumulative-ns gauge closure."""
+                return lambda: float(tracer.component_total(component))
+            for component in COMPONENTS:
+                causal_scope.register(f"{component}.ns",
+                                      _component_gauge(component))
         # telemetry (when armed) samples this registry every epoch
         probe = self.sim.telemetry
         if probe is not None:
@@ -208,9 +225,14 @@ class FullSystem:
         # closes from the completion event's callback, registered only
         # when tracing is on so disabled runs stay event-identical
         tracer = self.sim.tracer
-        span = tracer.begin("io.submit", req.req_id, op=req.kind.name,
-                            slba=req.slba, nbytes=req.nbytes) \
-            if tracer.enabled else None
+        span = None
+        if tracer.enabled:
+            span = tracer.begin("io.submit", req.req_id, op=req.kind.name,
+                                slba=req.slba, nbytes=req.nbytes)
+            if req.nsid:
+                # tenant blame label: waits blocked behind this request
+                # are attributed to its namespace, not its request id
+                tracer.annotate_track(req.req_id, f"ns:{req.nsid}")
         yield from self.cpu.execute(self._syscall_mix, core=core, kernel=True)
         if not direct:
             served = yield from self._buffered_path(req, stream_id, core)

@@ -16,7 +16,11 @@ time-series, latency histograms and the span breakdown into one
 self-contained HTML or Markdown artifact; ``--epoch-ns`` tunes the
 sampling period.  ``--profile BASE`` arms the wall-clock self-profiler
 (:mod:`repro.obs.profiler`) and writes ``BASE.md`` +
-``BASE.trace.json`` showing which layer burned the host time.  See
+``BASE.trace.json`` showing which layer burned the host time.
+``--explain OUT.md`` arms per-request causal capture
+(:mod:`repro.obs.causal`) and writes the per-system component
+decomposition — with worst-request causal chains and blame edges —
+without perturbing the experiment's results.  See
 ``docs/OBSERVABILITY.md``.
 """
 
@@ -28,7 +32,10 @@ import sys
 import time
 
 from repro.obs import (
+    causal_summary,
+    disable_causal,
     disable_profiling,
+    enable_causal,
     disable_telemetry,
     disable_tracing,
     enable_profiling,
@@ -44,6 +51,7 @@ from repro.obs import (
     write_profile,
     write_report,
 )
+from repro.obs.diff import write_causal_report
 
 EXPERIMENTS = {
     "tables": "repro.experiments.tables",
@@ -98,6 +106,9 @@ def main(argv=None) -> int:
     parser.add_argument("--profile", metavar="BASE",
                         help="attribute wall time per layer; writes BASE.md "
                              "+ BASE.trace.json (repro.obs.profiler)")
+    parser.add_argument("--explain", metavar="OUT.md",
+                        help="arm causal capture and write the per-system "
+                             "latency decomposition (repro.obs.causal)")
     args = parser.parse_args(argv)
 
     if args.list or not args.experiment:
@@ -119,6 +130,8 @@ def main(argv=None) -> int:
         enable_telemetry(epoch_ns=args.epoch_ns)
     if args.profile:
         enable_profiling()
+    if args.explain:
+        enable_causal()
     try:
         started = time.perf_counter()  # simlint: disable=SIM101, SIM110 -- wall-clock progress display only; never enters results
         result = module.run(quick=not args.full)
@@ -145,7 +158,17 @@ def main(argv=None) -> int:
                 args.profile,
                 title=f"{EXPERIMENTS[args.experiment]} — wall attribution")
             print(f"\n[self-profile -> {', '.join(paths)}]")
+        if args.explain:
+            summary = causal_summary()
+            write_causal_report(
+                args.explain, summary,
+                title=f"{EXPERIMENTS[args.experiment]} — causal forensics")
+            print(f"\n[causal: {summary['records']} requests, "
+                  f"{summary['violations']} conservation violations "
+                  f"-> {args.explain}]")
     finally:
+        if args.explain:
+            disable_causal()
         if args.profile:
             disable_profiling()
         if args.report:

@@ -181,18 +181,43 @@ def main(argv=None) -> int:
                         help="restrict to one case (repeatable)")
     parser.add_argument("--dir", type=Path, default=DEFAULT_DIR,
                         help="golden directory (default tests/golden)")
+    parser.add_argument("--causal", action="store_true",
+                        help="re-check with per-request causal capture "
+                             "armed: digests must stay identical (capture "
+                             "is bit-neutral) and the conservation "
+                             "invariant must hold for every request")
     args = parser.parse_args(argv)
 
+    from repro.obs import causal as _causal
+
     failures = []
-    for case in (args.case or GOLDEN_CASES):
-        if args.update:
-            doc = record_case(case, args.dir)
-            print(f"recorded {case}: {doc['digest'][:16]}…", file=sys.stderr)
-        else:
+    try:
+        for case in (args.case or GOLDEN_CASES):
+            if args.update:
+                doc = record_case(case, args.dir)
+                print(f"recorded {case}: {doc['digest'][:16]}…",
+                      file=sys.stderr)
+                continue
+            if args.causal:
+                # re-arm per case so the violation count covers only it
+                _causal.enable_causal()
             ok = check_case(case, args.dir)
-            print(f"{'ok  ' if ok else 'FAIL'} {case}", file=sys.stderr)
+            note = ""
+            if args.causal:
+                tracers = _causal.collectors()
+                violations = sum(t.violations for t in tracers)
+                records = sum(t.records for t in tracers)
+                note = (f"  [causal: {records} requests, "
+                        f"{violations} violations]")
+                if violations:
+                    ok = False
+            print(f"{'ok  ' if ok else 'FAIL'} {case}{note}",
+                  file=sys.stderr)
             if not ok:
                 failures.append(case)
+    finally:
+        if args.causal:
+            _causal.disable_causal()
     return 1 if failures else 0
 
 

@@ -8,6 +8,7 @@ Usage::
     python -m repro.fleet status --builtin smoke4 --store out/ [--follow]
     python -m repro.fleet watch  --builtin smoke4 --store out/ --out partial.md
     python -m repro.fleet report --builtin smoke4 --store out/ --out fleet.md
+    python -m repro.fleet explain HASH_A HASH_B --store out/ --out why.md
     python -m repro.fleet --list
 
 ``run --resume`` skips configurations whose hash already has a stored
@@ -20,7 +21,11 @@ ones, and ``watch`` / ``status --follow`` tail the journal live,
 optionally rewriting a streaming partial report that converges
 byte-identically to the final ``report``.  Reports render Markdown or
 HTML by file suffix; ``--json`` on ``report`` writes the canonical
-merged document instead.  See ``docs/FLEET.md``.
+merged document instead.  ``run --causal`` embeds each job's
+per-request causal latency decomposition (:mod:`repro.obs.causal`) in
+its stored result, and ``explain HASH_A HASH_B`` then renders a
+deterministic report ranking the resource components that moved the
+p50/p99 between the two configurations.  See ``docs/FLEET.md``.
 """
 
 from __future__ import annotations
@@ -29,6 +34,7 @@ import argparse
 import sys
 
 from repro.fleet.report import merge_results, merged_json, write_fleet_report
+from repro.obs.diff import explain, write_explain_report
 from repro.fleet.runner import run_sweep, sweep_status
 from repro.fleet.scenarios import SCENARIOS, builtin_specs, spec_names
 from repro.fleet.spec import SweepSpec
@@ -102,6 +108,10 @@ def main(argv=None) -> int:
     run.add_argument("--profile", action="store_true",
                      help="wall-clock self-profile each job; per-layer "
                           "attribution lands in the journal")
+    run.add_argument("--causal", action="store_true",
+                     help="capture per-request causal latency forensics; "
+                          "the summary lands in each stored result for "
+                          "'fleet explain'")
 
     status = sub.add_parser("status",
                             help="done/running/failed/pending for a sweep")
@@ -135,6 +145,20 @@ def main(argv=None) -> int:
     report.add_argument("--json", action="store_true",
                         help="write the canonical merged JSON instead")
 
+    explain_cmd = sub.add_parser(
+        "explain",
+        help="why do two stored runs differ? (needs 'run --causal')")
+    explain_cmd.add_argument("hash_a", metavar="HASH_A",
+                             help="baseline config hash (unique prefix ok)")
+    explain_cmd.add_argument("hash_b", metavar="HASH_B",
+                             help="comparison config hash (unique prefix ok)")
+    explain_cmd.add_argument("--store", metavar="DIR", required=True,
+                             help="result store holding both runs")
+    explain_cmd.add_argument("--out", metavar="OUT.md|OUT.html|OUT.json",
+                             required=True,
+                             help="explain report path; suffix selects the "
+                                  "format")
+
     args = parser.parse_args(argv)
 
     if args.list or not args.command:
@@ -145,6 +169,25 @@ def main(argv=None) -> int:
         print("scenarios:")
         for name in sorted(SCENARIOS):
             print(f"  {name}")
+        return 0
+
+    if args.command == "explain":
+        store = ResultStore(args.store)
+        docs = []
+        for prefix in (args.hash_a, args.hash_b):
+            matches = [h for h in store.hashes() if h.startswith(prefix)]
+            if len(matches) != 1:
+                raise SystemExit(
+                    f"hash prefix {prefix!r} matches {len(matches)} stored "
+                    f"results in {store.root} (need exactly 1)")
+            docs.append(store.get(matches[0]))
+        try:
+            doc = explain(docs[0], docs[1])
+        except ValueError as error:
+            raise SystemExit(str(error))
+        write_explain_report(args.out, doc)
+        print(f"[explain: {doc['a']['config_hash'][:12]} vs "
+              f"{doc['b']['config_hash'][:12]} -> {args.out}]")
         return 0
 
     spec = _load_spec(args)
@@ -164,7 +207,7 @@ def main(argv=None) -> int:
                             progress=lambda msg: print(msg, file=sys.stderr),
                             journal=not args.no_journal,
                             heartbeat_s=args.heartbeat,
-                            profile=args.profile)
+                            profile=args.profile, causal=args.causal)
         print(f"{spec.name}: executed {len(summary.executed)}, "
               f"cached {len(summary.skipped)}, "
               f"planned {summary.planned} -> {store.root}")

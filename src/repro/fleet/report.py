@@ -24,6 +24,8 @@ from typing import Dict, List, Optional
 from repro.experiments.golden import canonicalize
 from repro.fleet.spec import SweepSpec
 from repro.fleet.store import ResultStore
+from repro.obs.causal import COMPONENTS
+from repro.obs.diff import merged_ops
 from repro.obs.histogram import LogHistogram
 from repro.obs.timeseries import TimeSeries, sparkline
 
@@ -44,6 +46,32 @@ def _merged_histogram(results: List[Dict]) -> Optional[LogHistogram]:
         else:
             merged.merge(hist)
     return merged
+
+
+def _merged_causal(results: List[Dict]) -> Optional[Dict]:
+    """Fold embedded causal summaries into per-op component sums.
+
+    Returns ``{op: {count, total_ns, components_ns}}`` across every job
+    that ran with ``--causal`` (None when none did).  Because each
+    request's components sum exactly to its latency, the folded sums
+    remain an exact decomposition of the fleet-wide total.
+    """
+    combined: Dict[str, Dict] = {}
+    seen = False
+    for result in results:
+        payload = result.get("causal")
+        if not payload:
+            continue
+        seen = True
+        for op, agg in merged_ops(payload).items():
+            entry = combined.setdefault(
+                op, {"count": 0, "total_ns": 0, "components_ns": {}})
+            entry["count"] += agg["count"]
+            entry["total_ns"] += agg["total_ns"]
+            for comp, ns in agg["components_ns"].items():
+                entry["components_ns"][comp] = \
+                    entry["components_ns"].get(comp, 0) + ns
+    return combined if seen else None
 
 
 def _trend(values: List[float], name: str) -> str:
@@ -106,6 +134,9 @@ def merge_results(spec: SweepSpec, store: ResultStore) -> Dict:
     if fleet_hist is not None:
         doc["fleet_latency"] = fleet_hist.summary(scale=1e-3)
         doc["fleet_hist"] = fleet_hist.to_dict()
+    causal = _merged_causal([row["result"] for row in rows])
+    if causal is not None:
+        doc["causal_components"] = causal
     return canonicalize(doc)
 
 
@@ -148,6 +179,24 @@ def render_markdown(doc: Dict) -> str:
                 f"| {lat['count']:.0f} | {lat['mean']:.1f} "
                 f"| {lat['p50']:.1f} | {lat['p95']:.1f} "
                 f"| {lat['p99']:.1f} | {lat['max']:.1f} |", ""]
+
+    if "causal_components" in doc:
+        out += ["## Causal components (all jobs merged)", "",
+                "| op | component | total µs | mean µs | share |",
+                "|---|---|---:|---:|---:|"]
+        for op in sorted(doc["causal_components"]):
+            entry = doc["causal_components"][op]
+            comps = entry["components_ns"]
+            ordered = [c for c in COMPONENTS if c in comps] \
+                + sorted(set(comps) - set(COMPONENTS))
+            for comp in ordered:
+                ns = comps[comp]
+                share = ns / entry["total_ns"] if entry["total_ns"] else 0.0
+                out.append(
+                    f"| `{op}` | `{comp}` | {ns / 1000.0:.1f} "
+                    f"| {ns / 1000.0 / entry['count']:.2f} "
+                    f"| {share * 100:.1f}% |")
+        out.append("")
 
     if doc["groups"]:
         out += ["## Per-axis aggregates", "",

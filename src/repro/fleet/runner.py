@@ -39,6 +39,7 @@ from typing import Callable, Dict, List, Optional, Tuple, Union
 
 from repro.fleet.spec import Job, SweepSpec, derive_seed
 from repro.fleet.store import ResultStore
+from repro.obs import causal as _causal
 from repro.obs import journal as _journal
 from repro.obs import profiler as _profiler
 from repro.obs import telemetry as _telemetry
@@ -68,7 +69,8 @@ def _flightrec_dumps(directory: Path) -> List[str]:
 def run_one_job(job: Job,
                 journal_path: Optional[Union[str, Path]] = None,
                 heartbeat_s: float = 2.0,
-                profile: bool = False) -> Tuple[str, Dict]:
+                profile: bool = False,
+                causal: bool = False) -> Tuple[str, Dict]:
     """Execute a single planned job; the unit of work a worker runs.
 
     Module-level (not a closure) so it pickles under any multiprocessing
@@ -85,10 +87,18 @@ def run_one_job(job: Job,
     post-mortems the failure dumped beside the journal.  ``profile=True``
     additionally arms the wall-clock self-profiler and records the
     per-layer attribution in the ``job_completed`` event.
+
+    ``causal=True`` arms per-request causal capture
+    (:mod:`repro.obs.causal`) for the duration and embeds the causal
+    summary under the result's ``"causal"`` key — the payload ``fleet
+    explain`` diffs.  Capture never perturbs simulated results (spans
+    live outside the event queue), so every *other* result field is
+    byte-identical with it on or off; the stored document differs only
+    by the added key.
     """
     from repro.fleet.scenarios import run_scenario
     seed = derive_seed(job.config_hash)
-    if journal_path is None and not profile:
+    if journal_path is None and not profile and not causal:
         return job.config_hash, run_scenario(job.params, seed)
 
     journal = (None if journal_path is None
@@ -96,17 +106,24 @@ def run_one_job(job: Job,
     dump_dir = (None if journal is None else journal.path.parent)
     own_telemetry = journal is not None and not _telemetry.telemetry_enabled()
     own_profiler = profile and not _profiler.profiling_enabled()
+    own_causal = causal and not _causal.causal_enabled()
     dumps_before = [] if dump_dir is None else _flightrec_dumps(dump_dir)
     try:
         if own_telemetry:
             _telemetry.enable_telemetry(dump_dir=str(dump_dir))
         if own_profiler:
             _profiler.enable_profiling()
+        if causal:
+            # (re)arm per job: clears any previous job's collectors so
+            # the embedded summary covers exactly this simulation
+            _causal.enable_causal()
         if journal is not None:
             _journal.begin_job(journal, job.config_hash,
                                heartbeat_s=heartbeat_s)
         try:
             result = run_scenario(job.params, seed)
+            if causal and isinstance(result, dict):
+                result = dict(result, causal=_causal.causal_summary())
         except BaseException as error:
             if journal is not None:
                 new_dumps = [name for name
@@ -137,6 +154,8 @@ def run_one_job(job: Job,
         if journal is not None:
             _journal.end_job("job_failed", error="Interrupted",
                              message="worker exited without a terminal event")
+        if own_causal:
+            _causal.disable_causal()
         if own_profiler:
             _profiler.disable_profiling()
         if own_telemetry:
@@ -147,7 +166,7 @@ def run_sweep(spec: SweepSpec, store: ResultStore, jobs: int = 1,
               resume: bool = True,
               progress: Optional[Callable[[str], None]] = None,
               journal: bool = True, heartbeat_s: float = 2.0,
-              profile: bool = False) -> RunSummary:
+              profile: bool = False, causal: bool = False) -> RunSummary:
     """Run every job of ``spec`` into ``store``; returns the summary.
 
     ``jobs=1`` executes inline in this process (no pool), in
@@ -160,8 +179,12 @@ def run_sweep(spec: SweepSpec, store: ResultStore, jobs: int = 1,
     ``<store>/journal.ndjson`` for ``watch``/``status --follow``;
     ``heartbeat_s`` throttles the in-flight heartbeats; ``profile=True``
     arms the wall-clock self-profiler per job and journals the
-    per-layer attribution.  None of the three can perturb stored
-    results (see :func:`run_one_job`).
+    per-layer attribution; ``causal=True`` embeds each job's causal
+    latency decomposition in its stored result (``fleet explain``).
+    None of these can perturb simulated results (see
+    :func:`run_one_job`) — a causal store differs from a plain one only
+    by the deterministic ``"causal"`` payload, and stays byte-identical
+    across ``--jobs`` counts.
     """
     if jobs < 1:
         raise ValueError("jobs must be >= 1")
@@ -190,7 +213,7 @@ def run_sweep(spec: SweepSpec, store: ResultStore, jobs: int = 1,
         for job in pending:
             job_hash, result = run_one_job(job, journal_path=journal_path,
                                            heartbeat_s=heartbeat_s,
-                                           profile=profile)
+                                           profile=profile, causal=causal)
             store.put(job_hash, job.params, result)
             summary.executed.append(job_hash)
             note(f"done {job_hash[:12]} "
@@ -200,7 +223,7 @@ def run_sweep(spec: SweepSpec, store: ResultStore, jobs: int = 1,
     by_hash = {job.config_hash: job for job in pending}
     with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
         futures = {pool.submit(run_one_job, job, journal_path,
-                               heartbeat_s, profile): job
+                               heartbeat_s, profile, causal): job
                    for job in pending}
         for future in as_completed(futures):
             job_hash, result = future.result()

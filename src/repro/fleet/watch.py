@@ -39,9 +39,26 @@ def journal_status(spec: SweepSpec, store: ResultStore,
     journal state — resumed sweeps rewrite history).  For the rest, the
     journal's last word per job decides: a terminal ``job_failed`` means
     **failed**, an open ``job_started`` means **running**, no mention
-    means **pending**.  Returns a document with per-state hash lists,
-    per-running-job liveness (last heartbeat age, simulated ns, events)
-    and an ETA extrapolated from completed-job wall durations.
+    means **pending**.
+
+    The returned document is the stable ``fleet.watch/1`` schema that
+    ``watch --once --json`` emits (keys sorted; pinned by
+    ``tests/test_fleet_watch.py``):
+
+    * ``schema`` — the literal ``"fleet.watch/1"``;
+    * ``spec`` / ``planned`` / ``done`` — sweep name, job count, stored
+      count;
+    * ``journal`` — path of the NDJSON journal that was folded in;
+    * ``running`` — one entry per in-flight job: ``job`` (hash),
+      ``pid``, ``sim_ns`` / ``events`` from the freshest heartbeat, and
+      ``beat_age_s`` (wall seconds since that heartbeat);
+    * ``failed`` — one entry per failed job: ``job``, ``error``
+      (exception class), ``message``, ``flightrec`` post-mortem names;
+    * ``pending`` — hashes the journal has never mentioned;
+    * ``missing`` — pending + failed + running (everything not stored);
+    * ``eta_s`` — always present: wall-seconds estimate from completed
+      jobs' mean duration, or ``None`` until at least one job has
+      completed (or nothing remains).
     """
     now_s = wall_now() if now_s is None else now_s
     planned = sorted(spec.expand(), key=lambda job: job.config_hash)
@@ -93,11 +110,14 @@ def journal_status(spec: SweepSpec, store: ResultStore,
                                     3),
             })
 
-    doc: Dict = {"spec": spec.name, "planned": len(planned),
+    doc: Dict = {"schema": "fleet.watch/1",
+                 "spec": spec.name, "planned": len(planned),
+                 "journal": str(journal.path),
                  "done": len(done), "running": running, "failed": failed,
                  "pending": pending, "missing": pending
                  + [entry["job"] for entry in failed]
-                 + [entry["job"] for entry in running]}
+                 + [entry["job"] for entry in running],
+                 "eta_s": None}
     remaining = len(pending) + len(running)
     if durations and remaining:
         mean = sum(durations) / len(durations)
@@ -110,7 +130,8 @@ def render_status(doc: Dict) -> str:
     out = [f"{doc['spec']}: {doc['done']}/{doc['planned']} done, "
            f"{len(doc['running'])} running, {len(doc['failed'])} failed, "
            f"{len(doc['pending'])} pending"
-           + (f", eta ~{doc['eta_s']:.0f}s" if "eta_s" in doc else "")]
+           + (f", eta ~{doc['eta_s']:.0f}s"
+              if doc.get("eta_s") is not None else "")]
     for entry in doc["running"]:
         out.append(f"  RUN  {entry['job'][:12]}  pid={entry['pid']}  "
                    f"sim={entry['sim_ns']}ns  events={entry['events']}  "

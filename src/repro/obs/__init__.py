@@ -12,6 +12,13 @@ Two substrates, documented in detail in ``docs/OBSERVABILITY.md``:
   ``TimeAverage`` and ``UtilizationTracker`` instruments, exportable
   as CSV.
 
+**Causal forensics** (:mod:`repro.obs.causal`) builds on tracing: a
+:class:`CausalTracer` decomposes every request's end-to-end latency
+exactly into resource components (conservation invariant: components
+sum to the total), keeps bounded top-K tail captures with blame edges,
+and :mod:`repro.obs.diff` explains *why two runs differ* by ranking
+components against the p50/p99 delta (``fleet explain``).
+
 A third substrate, **telemetry epochs** (:mod:`repro.obs.telemetry`),
 samples every registered metric into bounded
 :class:`~repro.obs.timeseries.TimeSeries` at a fixed simulated-time
@@ -36,6 +43,24 @@ off by default and zero-cost when off, and neither ever perturbs
 simulated results.
 """
 
+from repro.obs.causal import (
+    CHAIN_CAP,
+    COMPONENTS,
+    KIND_COMPONENT,
+    CausalTracer,
+    causal_enabled,
+    causal_summary,
+    causal_tracer_for,
+    component_of,
+    disable_causal,
+    enable_causal,
+)
+from repro.obs.diff import (
+    explain,
+    render_explain_html,
+    render_explain_markdown,
+    write_explain_report,
+)
 from repro.obs.export import (
     chrome_trace,
     format_breakdown,
@@ -101,6 +126,20 @@ from repro.obs.tracer import (
 )
 
 __all__ = [
+    "CHAIN_CAP",
+    "COMPONENTS",
+    "KIND_COMPONENT",
+    "CausalTracer",
+    "causal_enabled",
+    "causal_summary",
+    "causal_tracer_for",
+    "component_of",
+    "disable_causal",
+    "enable_causal",
+    "explain",
+    "render_explain_html",
+    "render_explain_markdown",
+    "write_explain_report",
     "Counter",
     "Gauge",
     "MetricsRegistry",

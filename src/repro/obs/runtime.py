@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Tuple
 
+from repro.obs import causal as _causal
 from repro.obs.tracer import NULL_TRACER, Tracer
 
 _active = False
@@ -48,7 +49,18 @@ def disable_tracing() -> None:
 
 
 def tracer_for(clock) -> Tracer:
-    """Tracer for a new simulator: live and collected, or the null one."""
+    """Tracer for a new simulator: live and collected, or the null one.
+
+    When causal capture (:mod:`repro.obs.causal`) is armed the tracer is
+    a :class:`~repro.obs.causal.CausalTracer` — still a full span tracer
+    when plain tracing is *also* on (``retain_spans``), so Chrome-trace
+    export and causal records come from one pass.
+    """
+    if _causal.causal_enabled():
+        tracer = _causal.causal_tracer_for(clock, retain_spans=_active)
+        if _active:
+            _tracers.append(tracer)
+        return tracer
     if not _active:
         return NULL_TRACER
     tracer = Tracer(clock)
@@ -69,6 +81,7 @@ def label_latest_tracer(label: str) -> None:
     """
     if _tracers:
         _tracers[-1].label = label
+    _causal.label_latest(label)
 
 
 def collect_metrics(label: str, snapshot: Dict[str, float]) -> None:

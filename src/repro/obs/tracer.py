@@ -103,6 +103,7 @@ class Tracer:
         self.clock = clock
         self.spans: List[Span] = []
         self._open: Dict[int, List[Span]] = {}
+        self._track_ctx: Dict[int, str] = {}
 
     # -- recording --------------------------------------------------------
 
@@ -120,15 +121,46 @@ class Tracer:
         return span
 
     def end(self, span: Span) -> None:
-        """Close a span at the current simulated time."""
+        """Close a span at the current simulated time.
+
+        Closing is **idempotent**: a second ``end()`` on an already-closed
+        span is a no-op (the pinned choice — re-stamping ``t_end`` would
+        let a stray completion callback silently rewrite history, see
+        ``tests/test_obs_tracing.py``).  The common LIFO close pops the
+        track stack in O(1); only the rare out-of-order close (a parent
+        ended before its child) pays the O(n) middle removal.
+        """
+        if span.t_end is not None:
+            return
         span.t_end = self._now()
         stack = self._open.get(span.track)
-        if stack and span in stack:
+        if not stack:
+            return
+        if stack[-1] is span:
+            stack.pop()
+        elif span in stack:
             stack.remove(span)
 
     def span(self, kind: str, track: int = 0, **args) -> _SpanContext:
         """Context manager wrapping :meth:`begin`/:meth:`end`."""
         return _SpanContext(self, kind, track, args or None)
+
+    # -- blame context -----------------------------------------------------
+
+    def annotate_track(self, track: int, ctx: str) -> None:
+        """Attach a context label to a track (e.g. ``ns:2`` for an NVMe
+        namespace), used by wait-span blame edges instead of the bare
+        request id.  Call sites guard on :attr:`enabled`."""
+        self._track_ctx[track] = ctx
+
+    def owner_label(self, track: int) -> str:
+        """Blame label for work running on ``track``: the annotation set
+        by :meth:`annotate_track`, else ``req:<track>``, else ``bg`` for
+        the background lane (track 0)."""
+        ctx = self._track_ctx.get(track)
+        if ctx is not None:
+            return ctx
+        return f"req:{track}" if track else "bg"
 
     # -- queries ----------------------------------------------------------
 

@@ -7,12 +7,16 @@ and spreads job issue according to the configured parallelism order.
 Every transaction opens a ``flash.*`` span on the originating request's
 trace track (``track=0`` marks background work such as GC migration),
 so a trace shows exactly which flash operations a host I/O paid for.
+``ctx`` optionally overrides the blame label the backend's owner
+registries record for causal forensics (``gc:<run>`` for GC migration
+traffic, ``flush`` for cache write-back); it is dropped untouched when
+tracing is off.
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.common.instructions import InstructionMix
 from repro.sim import AllOf
@@ -35,50 +39,57 @@ class FlashInterfaceLayer:
         self.transactions += 1
         return self.cores.execute("fil", self._issue_mix)
 
-    def read(self, ppn: int, nbytes: int = 0, track: int = 0):
+    def read(self, ppn: int, nbytes: int = 0, track: int = 0,
+             ctx: Optional[str] = None):
         """Process generator: one timed page read."""
         tracer = self.sim.tracer
         if tracer.enabled:
             with tracer.span("flash.read", track, ppn=ppn):
                 yield from self._charge()
-                yield from self.backend.read_page(ppn, nbytes)
+                yield from self.backend.read_page(ppn, nbytes, track=track,
+                                                  ctx=ctx)
         else:
             yield from self._charge()
             yield from self.backend.read_page(ppn, nbytes)
 
-    def program(self, ppn: int, track: int = 0):
+    def program(self, ppn: int, track: int = 0, ctx: Optional[str] = None):
         """Process generator: one timed page program."""
         tracer = self.sim.tracer
         if tracer.enabled:
             with tracer.span("flash.program", track, ppn=ppn):
                 yield from self._charge()
-                yield from self.backend.program_page(ppn)
+                yield from self.backend.program_page(ppn, track=track,
+                                                     ctx=ctx)
         else:
             yield from self._charge()
             yield from self.backend.program_page(ppn)
 
-    def erase(self, unit: int, block: int, track: int = 0):
+    def erase(self, unit: int, block: int, track: int = 0,
+              ctx: Optional[str] = None):
         """Process generator: one timed block erase; returns success."""
         tracer = self.sim.tracer
         if tracer.enabled:
             with tracer.span("flash.erase", track, unit=unit, block=block):
                 yield from self._charge()
-                ok = yield from self.backend.erase_block(unit, block)
+                ok = yield from self.backend.erase_block(unit, block,
+                                                         track=track, ctx=ctx)
         else:
             yield from self._charge()
             ok = yield from self.backend.erase_block(unit, block)
         return ok
 
     def read_group(self, ppns: Sequence[int], nbytes_each: int = 0,
-                   track: int = 0):
+                   track: int = 0, ctx: Optional[str] = None):
         """Read several pages concurrently (they stripe across dies)."""
         if not ppns:
             return
-        events = [self.sim.process(self.read(ppn, nbytes_each, track=track))
+        events = [self.sim.process(self.read(ppn, nbytes_each, track=track,
+                                             ctx=ctx))
                   for ppn in ppns]
         yield AllOf(self.sim, events)
 
-    def program_group(self, ppns: Sequence[int], track: int = 0):
+    def program_group(self, ppns: Sequence[int], track: int = 0,
+                      ctx: Optional[str] = None):
         """Program several pages concurrently with multi-plane merging.
 
         PPNs on the same die with identical page offsets fuse into one
@@ -97,18 +108,21 @@ class FlashInterfaceLayer:
             if len(die_ppns) > 1 and len(units) == len(die_ppns):
                 # one page per plane: a single multi-plane program pulse
                 events.append(self.sim.process(
-                    self._multiplane(die_ppns, track)))
+                    self._multiplane(die_ppns, track, ctx)))
             else:
-                events.extend(self.sim.process(self.program(p, track=track))
+                events.extend(self.sim.process(self.program(p, track=track,
+                                                            ctx=ctx))
                               for p in die_ppns)
         yield AllOf(self.sim, events)
 
-    def _multiplane(self, ppns: List[int], track: int = 0):
+    def _multiplane(self, ppns: List[int], track: int = 0,
+                    ctx: Optional[str] = None):
         tracer = self.sim.tracer
         if tracer.enabled:
             with tracer.span("flash.program", track, planes=len(ppns)):
                 yield from self._charge()
-                yield from self.backend.program_multiplane(ppns)
+                yield from self.backend.program_multiplane(ppns, track=track,
+                                                           ctx=ctx)
         else:
             yield from self._charge()
             yield from self.backend.program_multiplane(ppns)

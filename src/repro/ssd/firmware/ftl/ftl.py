@@ -49,6 +49,9 @@ class FlashTranslationLayer:
         self.allocator = PageAllocator(config, array)
         self._unit_locks = [Resource(sim, 1, name=f"unit{i}")
                             for i in range(config.geometry.parallel_units)]
+        # Last holder of each unit lock, for causal blame edges
+        # (maintained only while tracing is on; see _lock_unit).
+        self._unit_owner: Dict[int, str] = {}
         self._translate_mix = InstructionMix.typical(config.costs.ftl_translate)
         self._gc_page_mix = InstructionMix.typical(config.costs.ftl_gc_per_page)
         self._map_base = 0  # mapping table occupies the bottom of DRAM
@@ -144,10 +147,10 @@ class FlashTranslationLayer:
         for _die, group in sorted(groups.items()):
             for slot in group:
                 yield from self.cores.execute("ftl", self._translate_mix)
-                yield from self._gc_if_needed(units[slot])
+                yield from self._gc_if_needed(units[slot], track)
             group_units = sorted({units[slot] for slot in group})
             for unit in group_units:
-                yield self._unit_locks[unit].acquire()
+                yield from self._lock_unit(unit, track)
             try:
                 allocated = {slot: self.allocator.allocate(units[slot],
                                                            self.sim.now)
@@ -217,17 +220,65 @@ class FlashTranslationLayer:
             yield from self.dram.access(
                 self._map_address(lpn), _MAP_ENTRY_BYTES, write=True)
 
+    # -- unit locking (with causal blame) ----------------------------------------
+
+    def _lock_unit(self, unit: int, track: int = 0,
+                   ctx: Optional[str] = None):
+        """Process: acquire a unit lock, recording contention for blame.
+
+        When tracing is on and the lock is already held, the wait is
+        captured as an ``ftl.unit_wait`` span carrying ``holder=`` — the
+        label of the current holder (``gc:<run>`` when a collection has
+        the unit, else the owning request/namespace) — which the causal
+        layer folds into the ``gc_stall`` component.  When tracing is
+        off this is exactly the bare ``acquire()`` of the pre-forensics
+        code.
+        """
+        lock = self._unit_locks[unit]
+        tracer = self.sim.tracer
+        if not tracer.enabled:
+            yield lock.acquire()  # simlint: disable=SIM106 -- acquire-only helper; every caller releases in its own try/finally
+            return
+        if lock.in_use >= lock.capacity:
+            span = tracer.begin("ftl.unit_wait", track, unit=unit,
+                                holder=self._unit_owner.get(unit, "?"))
+            yield lock.acquire()  # simlint: disable=SIM106 -- acquire-only helper; every caller releases in its own try/finally
+            tracer.end(span)
+        else:
+            yield lock.acquire()  # simlint: disable=SIM106 -- acquire-only helper; every caller releases in its own try/finally
+        self._unit_owner[unit] = ctx if ctx is not None \
+            else tracer.owner_label(track)
+
     # -- garbage collection --------------------------------------------------------
 
-    def _gc_if_needed(self, unit: int):
+    def _gc_if_needed(self, unit: int, track: int = 0):
+        """Process: collect ``unit`` until it has breathing room again.
+
+        On a host track the whole inline-GC episode is wrapped in one
+        ``ftl.gc_stall`` span: the collection itself traces on the
+        background lane (track 0), so without this span the host
+        request's causal record would show an unexplained gap exactly
+        where GC blocked it.  ``holder=gc:<run>`` names the collection
+        about to run.
+        """
+        if not self.allocator.needs_gc(unit):
+            return
+        tracer = self.sim.tracer
+        span = None
+        if tracer.enabled and track:
+            span = tracer.begin("ftl.gc_stall", track, unit=unit,
+                                holder=f"gc:{self.gc_runs + 1}")
         while self.allocator.needs_gc(unit):
             progressed = yield from self._collect_unit(unit)
             if not progressed:
                 break
+        if span is not None:
+            tracer.end(span)
 
     def _collect_unit(self, unit: int):
         """Process: one GC pass on a unit. Returns True if a block was freed."""
-        yield self._unit_locks[unit].acquire()
+        yield from self._lock_unit(unit, 0, ctx=f"gc:{self.gc_runs + 1}"
+                                   if self.sim.tracer.enabled else None)
         try:
             candidates = self.allocator.gc_candidates(unit)
             victim = select_victim(self.config, self.array, unit,
@@ -242,25 +293,29 @@ class FlashTranslationLayer:
                 self.wl_swaps += 1
             self.gc_runs += 1
             self.gc_active += 1
+            tracer = self.sim.tracer
+            ctx = f"gc:{self.gc_runs}" if tracer.enabled else None
             try:
                 # GC always traces on the background lane (track 0): the host
                 # write that tripped it stalls on the unit lock, visible as a
                 # gap in its own spans overlapping this one
-                with self.sim.tracer.span("ftl.gc", 0, unit=unit, block=victim):
-                    yield from self._migrate_and_erase(unit, victim)
+                with tracer.span("ftl.gc", 0, unit=unit, block=victim,
+                                 run=self.gc_runs):
+                    yield from self._migrate_and_erase(unit, victim, ctx=ctx)
             finally:
                 self.gc_active -= 1
             return True
         finally:
             self._unit_locks[unit].release()
 
-    def _migrate_and_erase(self, unit: int, victim: int):
+    def _migrate_and_erase(self, unit: int, victim: int,
+                           ctx: Optional[str] = None):
         block = self.array.block(unit, victim)
         geom = self.config.geometry
         for page in list(block.valid_pages()):
             old_ppn = self.array.mapper.ppn_from_unit(unit, victim, page)
             yield from self.cores.execute("ftl", self._gc_page_mix)
-            yield from self.fil.read(old_ppn, geom.page_size)
+            yield from self.fil.read(old_ppn, geom.page_size, ctx=ctx)
             if not self.allocator.can_allocate(unit):
                 raise RuntimeError(
                     f"GC on unit {unit} cannot migrate: no free block "
@@ -281,11 +336,11 @@ class FlashTranslationLayer:
                 # valid page with no logical owner: drop the fresh copy
                 self.array.invalidate_ppn(new_ppn)
             self.array.invalidate_ppn(old_ppn)
-            yield from self.fil.program(new_ppn)
+            yield from self.fil.program(new_ppn, ctx=ctx)
             yield from self.dram.access(
                 self._map_address(max(lpn, 0)), _MAP_ENTRY_BYTES, write=True)
             self.gc_pages_migrated += 1
-        ok = yield from self.fil.erase(unit, victim)
+        ok = yield from self.fil.erase(unit, victim, ctx=ctx)
         if not ok:
             # permanent erase failure: retire the block (its pages stay
             # invalid; capacity shrinks by one block)
@@ -316,7 +371,7 @@ class FlashTranslationLayer:
         for lbn, updates in by_lbn.items():
             unit = self._unit_for_lbn(lbn)
             yield from self.cores.execute("ftl", self._translate_mix)
-            yield from self._gc_if_needed(unit)
+            yield from self._gc_if_needed(unit, track)
             old_base = mapping.block_base(lbn)
             # gather surviving old data
             old_data: Dict[int, Optional[bytes]] = {}
@@ -329,7 +384,7 @@ class FlashTranslationLayer:
                                                  self.config.geometry.page_size)
                         old_data[off] = self.content.read(old_ppn)
             # allocate a whole fresh block and program every page in order
-            yield self._unit_locks[unit].acquire()
+            yield from self._lock_unit(unit, track)
             try:
                 new_ppns = [self.allocator.allocate(unit, self.sim.now)
                             for _ in range(ppb)]
@@ -361,9 +416,9 @@ class FlashTranslationLayer:
             unit = self._unit_for_lbn(lpn // mapping.block_map.pages_per_block)
             yield from self.cores.execute("ftl", self._translate_mix)
             if mapping.log_full():
-                yield from self._merge_log()
-            yield from self._gc_if_needed(unit)
-            yield self._unit_locks[unit].acquire()
+                yield from self._merge_log(track)
+            yield from self._gc_if_needed(unit, track)
+            yield from self._lock_unit(unit, track)
             try:
                 ppn = self.allocator.allocate(unit, self.sim.now)
             finally:
@@ -375,12 +430,13 @@ class FlashTranslationLayer:
             self.host_pages_written += 1
             yield from self.fil.program(ppn, track=track)
 
-    def _merge_log(self):
+    def _merge_log(self, track: int = 0):
         """Full merge: rewrite every logged page into fresh log space.
 
         A simplified switch-merge model: drained entries stay page-mapped
         (re-bound), but the merge pays the migration traffic a real
-        hybrid FTL would.
+        hybrid FTL would.  ``track`` attributes GC stalls the merge trips
+        to the host request paying for it.
         """
         mapping: HybridMapping = self.mapping
         drained = mapping.drain_log()
@@ -388,8 +444,8 @@ class FlashTranslationLayer:
             unit = self._unit_for_lbn(lpn // mapping.block_map.pages_per_block)
             yield from self.cores.execute("ftl", self._gc_page_mix)
             yield from self.fil.read(ppn, self.config.geometry.page_size)
-            yield from self._gc_if_needed(unit)
-            yield self._unit_locks[unit].acquire()
+            yield from self._gc_if_needed(unit, track)
+            yield from self._lock_unit(unit, track)
             try:
                 new_ppn = self.allocator.allocate(unit, self.sim.now)
             finally:

@@ -15,7 +15,7 @@ The backend turns FTL-level page operations into timed resource usage:
 from __future__ import annotations
 
 import random
-from typing import List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.common.units import transfer_ns
 from repro.sim import Resource
@@ -40,6 +40,11 @@ class FlashBackend:
             Resource(sim, 1, name=f"ch{i}") for i in range(geom.channels)]
         self._rng = random.Random(config.reliability.seed)
         self._erase_count_of = erase_counts or (lambda unit, block: 0)
+        # Last grantee of each die/channel, for causal blame edges.
+        # Maintained only while tracing is on (docs/OBSERVABILITY.md,
+        # "Causal forensics"): never read on the untraced hot path.
+        self._die_owner: Dict[int, str] = {}
+        self._channel_owner: Dict[int, str] = {}
         # Timing memo tables: FlashTiming is frozen, so per-parity read/
         # program latencies and per-size transfer times never change.
         timing = config.timing
@@ -118,9 +123,37 @@ class FlashBackend:
             return self.config.geometry.page_size
         return min(nbytes, self.config.geometry.page_size)
 
+    # -- traced acquisition (causal forensics) ------------------------------
+
+    def _traced_acquire(self, resource: Resource, kind: str,
+                        owners: Dict[int, str], key: int,
+                        track: int, ctx: Optional[str]):
+        """Acquire ``resource``, recording contention for causal blame.
+
+        Only reached when tracing is on (call sites guard on
+        ``tracer.enabled``, keeping the untraced hot path byte-identical
+        to the pre-forensics code).  A ``flash.die_wait`` /
+        ``flash.channel_wait`` span opens *only when the resource is
+        already held*, carrying ``holder=`` — the blame label of the
+        most recent grantee — so tail causal chains name the specific
+        GC run or contending tenant.  After the grant, the owner
+        registry records this caller: ``ctx`` for background work
+        (``gc:<run>``, ``flush``), else the track's own label
+        (``ns:<nsid>`` / ``req:<id>`` / ``bg``).
+        """
+        tracer = self.sim.tracer
+        if resource.in_use >= resource.capacity:
+            span = tracer.begin(kind, track, holder=owners.get(key, "?"))
+            yield resource.acquire()  # simlint: disable=SIM106 -- acquire-only helper; the calling operation releases in its try/finally
+            tracer.end(span)
+        else:
+            yield resource.acquire()  # simlint: disable=SIM106 -- acquire-only helper; the calling operation releases in its try/finally
+        owners[key] = ctx if ctx is not None else tracer.owner_label(track)
+
     # -- operations (generators to be driven as processes) -----------------
 
-    def read_page(self, ppn: int, nbytes: int = 0):
+    def read_page(self, ppn: int, nbytes: int = 0, track: int = 0,
+                  ctx: Optional[str] = None):
         """Sense a page and drain it over the channel.
 
         ``nbytes`` limits the data-out transfer (partial-page read); 0
@@ -134,7 +167,13 @@ class FlashBackend:
         channel = self.channel_resource(unit)
 
         block = self.mapper.block_of_ppn(ppn)
-        yield die.acquire()
+        traced = self.sim.tracer.enabled
+        if traced:
+            yield from self._traced_acquire(
+                die, "flash.die_wait", self._die_owner,
+                self.mapper.die_of_unit(unit), track, ctx)
+        else:
+            yield die.acquire()
         try:
             yield self.sim.timeout(t_read)
             # ECC read-retry: re-sense with tuned thresholds until clean
@@ -145,7 +184,12 @@ class FlashBackend:
                 self.read_retries += 1
                 self.power.record_read()
                 yield self.sim.timeout(t_read)
-            yield channel.acquire()
+            if traced:
+                yield from self._traced_acquire(
+                    channel, "flash.channel_wait", self._channel_owner,
+                    self.mapper.channel_of_unit(unit), track, ctx)
+            else:
+                yield channel.acquire()
             try:
                 yield self.sim.timeout(self._xfer_ns(payload))
             finally:
@@ -156,7 +200,8 @@ class FlashBackend:
         self.power.record_read()
         self.power.record_transfer(payload)
 
-    def program_page(self, ppn: int, nbytes: int = 0):
+    def program_page(self, ppn: int, nbytes: int = 0, track: int = 0,
+                     ctx: Optional[str] = None):
         """Stream data in over the channel, then program the cell array."""
         unit = self.mapper.unit_of_ppn(ppn)
         page = self.mapper.page_of_ppn(ppn)
@@ -164,9 +209,20 @@ class FlashBackend:
         die = self.die_resource(unit)
         channel = self.channel_resource(unit)
 
-        yield die.acquire()
+        traced = self.sim.tracer.enabled
+        if traced:
+            yield from self._traced_acquire(
+                die, "flash.die_wait", self._die_owner,
+                self.mapper.die_of_unit(unit), track, ctx)
+        else:
+            yield die.acquire()
         try:
-            yield channel.acquire()
+            if traced:
+                yield from self._traced_acquire(
+                    channel, "flash.channel_wait", self._channel_owner,
+                    self.mapper.channel_of_unit(unit), track, ctx)
+            else:
+                yield channel.acquire()
             try:
                 yield self.sim.timeout(self._xfer_ns(payload))
             finally:
@@ -178,7 +234,8 @@ class FlashBackend:
         self.power.record_program()
         self.power.record_transfer(payload)
 
-    def program_multiplane(self, ppns: Sequence[int]):
+    def program_multiplane(self, ppns: Sequence[int], track: int = 0,
+                           ctx: Optional[str] = None):
         """Multi-plane program: one die busy period covers sibling planes.
 
         All PPNs must live on the same die at the same page offset; data
@@ -195,9 +252,20 @@ class FlashBackend:
         die = self.die_resource(unit0)
         channel = self.channel_resource(unit0)
 
-        yield die.acquire()
+        traced = self.sim.tracer.enabled
+        if traced:
+            yield from self._traced_acquire(
+                die, "flash.die_wait", self._die_owner,
+                self.mapper.die_of_unit(unit0), track, ctx)
+        else:
+            yield die.acquire()
         try:
-            yield channel.acquire()
+            if traced:
+                yield from self._traced_acquire(
+                    channel, "flash.channel_wait", self._channel_owner,
+                    self.mapper.channel_of_unit(unit0), track, ctx)
+            else:
+                yield channel.acquire()
             try:
                 yield self.sim.timeout(len(ppns) * self._xfer_ns(payload))
             finally:
@@ -212,14 +280,20 @@ class FlashBackend:
             self.power.record_program()
         self.power.record_transfer(payload * len(ppns))
 
-    def erase_block(self, unit: int, block: int):
+    def erase_block(self, unit: int, block: int, track: int = 0,
+                    ctx: Optional[str] = None):
         """Erase one block; the die is busy for tERASE.
 
         Returns True on success, False when the erase failed permanently
         (the caller must retire the block — bad-block management).
         """
         die = self.die_resource(unit)
-        yield die.acquire()
+        if self.sim.tracer.enabled:
+            yield from self._traced_acquire(
+                die, "flash.die_wait", self._die_owner,
+                self.mapper.die_of_unit(unit), track, ctx)
+        else:
+            yield die.acquire()
         try:
             yield self.sim.timeout(self.config.timing.t_erase)
         finally:

@@ -282,6 +282,26 @@ class TestWatch:
         watch(TINY, store, emit=lines.append, once=True, as_json=True)
         assert json.loads(lines[0])["done"] == 2
 
+    def test_watch_json_schema_is_pinned(self, journaled):
+        """The stable fleet.watch/1 document: fixed key set, sorted-key
+        encoding, journal path and an always-present eta_s."""
+        store, _summary = journaled
+        lines = []
+        watch(TINY, store, emit=lines.append, once=True, as_json=True)
+        doc = json.loads(lines[0])
+        assert doc["schema"] == "fleet.watch/1"
+        assert set(doc) == {"schema", "spec", "planned", "journal", "done",
+                            "running", "failed", "pending", "missing",
+                            "eta_s"}
+        assert doc["journal"] == str(journal_path_for(store.root))
+        assert doc["eta_s"] is None          # settled sweep: nothing left
+        assert lines[0] == json.dumps(doc, sort_keys=True)  # sorted keys
+
+    def test_eta_s_is_none_until_a_job_completes(self, tmp_path):
+        doc = journal_status(TINY, ResultStore(tmp_path))
+        assert doc["eta_s"] is None
+        assert set(doc["pending"]) == set(doc["missing"])
+
 
 # -- partial-report convergence -----------------------------------------------
 

@@ -1,0 +1,216 @@
+"""Adversarial fuzzing of the run-journal reader and the journal-aware
+status fold (:mod:`repro.obs.journal`, :func:`repro.fleet.watch.journal_status`):
+multi-writer concurrent appends, injected torn/partial lines anywhere in
+the file, and randomly interleaved lifecycle records, all driven by a
+seeded generator so every failure reproduces."""
+
+import json
+import random
+import threading
+
+from repro.fleet import ResultStore, SweepSpec, journal_status
+from repro.obs.journal import RunJournal, journal_path_for
+
+SEED = 0xA3BE7
+
+EVENT_KINDS = ("job_started", "heartbeat", "epoch_sampled",
+               "job_completed", "job_failed")
+
+
+def _spec(n_jobs: int) -> SweepSpec:
+    """A sweep spec with ``n_jobs`` distinct planned configurations."""
+    return SweepSpec(name="fuzz", scenario="fio",
+                     base={"preset": "intel750", "total_ios": 10},
+                     axes={"iodepth": tuple(range(1, n_jobs + 1))})
+
+
+# -- concurrent appends --------------------------------------------------------
+
+
+class TestConcurrentWriters:
+    def test_threaded_appends_interleave_whole_lines(self, tmp_path):
+        """N writers hammering one journal: every event survives intact
+        and each writer's own sequence keeps its order."""
+        journal = RunJournal(tmp_path / "j.ndjson")
+        writers, per_writer = 8, 50
+
+        def hammer(writer_id):
+            for index in range(per_writer):
+                journal.append("heartbeat", job=f"w{writer_id}",
+                               sim_ns=index, events=index * 2)
+
+        threads = [threading.Thread(target=hammer, args=(w,))
+                   for w in range(writers)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        events = journal.events()
+        assert len(events) == writers * per_writer
+        for writer_id in range(writers):
+            mine = [e["sim_ns"] for e in events
+                    if e["job"] == f"w{writer_id}"]
+            assert mine == list(range(per_writer))
+
+    def test_every_line_is_one_json_document(self, tmp_path):
+        journal = RunJournal(tmp_path / "j.ndjson")
+
+        def hammer():
+            for index in range(40):
+                journal.append("epoch_sampled", job="x", sim_ns=index)
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        for line in journal.path.read_text().splitlines():
+            assert json.loads(line)["event"] == "epoch_sampled"
+
+
+# -- torn and corrupt lines ----------------------------------------------------
+
+
+def _tear(line: str, rng: random.Random) -> str:
+    """Truncate a JSON line at a random byte (a killed writer's tail)."""
+    return line[:rng.randrange(1, max(2, len(line) - 1))]
+
+
+class TestTornLines:
+    def test_reader_survives_seeded_corruption(self, tmp_path):
+        """Valid events interleaved with torn fragments, blank lines and
+        non-JSON garbage: the reader returns exactly the valid events,
+        in order, and never raises."""
+        rng = random.Random(SEED)
+        path = tmp_path / "j.ndjson"
+        journal = RunJournal(path)
+        expected = []
+        with open(path, "w", encoding="utf-8") as handle:
+            for index in range(200):
+                doc = {"event": rng.choice(EVENT_KINDS),
+                       "job": f"{rng.randrange(4):02x}" * 8,
+                       "wall_ts": round(rng.random() * 100, 6),
+                       "sim_ns": rng.randrange(10**9)}
+                line = json.dumps(doc, sort_keys=True,
+                                  separators=(",", ":"))
+                roll = rng.random()
+                if roll < 0.15:
+                    handle.write(_tear(line, rng) + "\n")   # torn mid-file
+                elif roll < 0.20:
+                    handle.write("\n")                       # blank line
+                elif roll < 0.25:
+                    handle.write("not json at all\n")        # garbage
+                elif roll < 0.30:
+                    handle.write('["array", "not", "dict"]\n')
+                elif roll < 0.33:
+                    handle.write('{"no_event_key": 1}\n')
+                else:
+                    handle.write(line + "\n")
+                    expected.append(doc)
+            handle.write('{"event": "job_comp')             # torn tail
+        assert journal.events() == expected
+
+    def test_partial_final_line_never_hides_earlier_events(self, tmp_path):
+        rng = random.Random(SEED + 1)
+        journal = RunJournal(tmp_path / "j.ndjson")
+        for index in range(20):
+            journal.append("heartbeat", job="abc", sim_ns=index)
+        complete = journal.events()
+        line = json.dumps({"event": "job_completed", "job": "abc"})
+        for _ in range(10):
+            torn = _tear(line, rng)
+            with open(journal.path, "a", encoding="utf-8") as handle:
+                handle.write(torn)
+            assert journal.events() == complete
+            # writer died; next writer starts a fresh line
+            with open(journal.path, "a", encoding="utf-8") as handle:
+                handle.write("\n")
+
+
+# -- fuzzed lifecycle interleavings against journal_status ---------------------
+
+
+class TestStatusFold:
+    def _fuzz_once(self, tmp_path, rng, tag):
+        """One randomized sweep history; returns what the fold must say."""
+        n_jobs = rng.randrange(2, 7)
+        spec = _spec(n_jobs)
+        hashes = sorted(job.config_hash for job in spec.expand())
+        store = ResultStore(tmp_path / f"store-{tag}")
+        journal = RunJournal(journal_path_for(store.root))
+
+        fates = {}
+        events = []
+        for job_hash in hashes:
+            fate = rng.choice(("done", "failed", "running", "pending",
+                               "failed_then_done"))
+            fates[job_hash] = fate
+            if fate == "pending":
+                continue
+            events.append(("job_started", job_hash,
+                           {"pid": rng.randrange(1, 10**5), "sim_ns": 0}))
+            for _ in range(rng.randrange(0, 4)):
+                events.append((rng.choice(("heartbeat", "epoch_sampled")),
+                               job_hash,
+                               {"sim_ns": rng.randrange(10**6),
+                                "events": rng.randrange(10**4)}))
+            if fate in ("failed", "failed_then_done"):
+                events.append(("job_failed", job_hash,
+                               {"error": "RuntimeError",
+                                "message": "fuzz", "flightrec": []}))
+        # shuffle everything but each job's own order (concurrent workers)
+        by_job = {}
+        for kind, job_hash, fields in events:
+            by_job.setdefault(job_hash, []).append((kind, fields))
+        order = []
+        cursors = {job_hash: 0 for job_hash in by_job}
+        flat = [job_hash for job_hash, mine in by_job.items()
+                for _ in mine]
+        rng.shuffle(flat)
+        for job_hash in flat:
+            kind, fields = by_job[job_hash][cursors[job_hash]]
+            cursors[job_hash] += 1
+            order.append((kind, job_hash, fields))
+        for kind, job_hash, fields in order:
+            journal.append(kind, job=job_hash, **fields)
+        for job_hash, fate in fates.items():
+            if fate in ("done", "failed_then_done"):
+                store.put(job_hash, {"fuzz": True}, {"ok": True})
+        return spec, store, fates
+
+    def test_fuzzed_interleavings_classify_exactly(self, tmp_path):
+        rng = random.Random(SEED)
+        for round_no in range(15):
+            spec, store, fates = self._fuzz_once(tmp_path, rng, round_no)
+            doc = journal_status(spec, store, now_s=1e9)
+            assert doc["schema"] == "fleet.watch/1"
+            # store always trumps the journal (failed_then_done == done)
+            want_done = {h for h, fate in fates.items()
+                         if fate in ("done", "failed_then_done")}
+            want_failed = {h for h, fate in fates.items()
+                           if fate == "failed"}
+            want_running = {h for h, fate in fates.items()
+                            if fate == "running"}
+            want_pending = {h for h, fate in fates.items()
+                            if fate == "pending"}
+            assert doc["done"] == len(want_done), fates
+            assert {f["job"] for f in doc["failed"]} == want_failed
+            assert {r["job"] for r in doc["running"]} == want_running
+            assert set(doc["pending"]) == want_pending
+            assert set(doc["missing"]) == \
+                want_failed | want_running | want_pending
+
+    def test_fuzzed_running_entries_use_freshest_heartbeat(self, tmp_path):
+        spec = _spec(2)
+        hashes = sorted(job.config_hash for job in spec.expand())
+        store = ResultStore(tmp_path / "store")
+        journal = RunJournal(journal_path_for(store.root))
+        journal.append("job_started", job=hashes[0], pid=7, sim_ns=0)
+        journal.append("heartbeat", job=hashes[0], sim_ns=100, events=5)
+        journal.append("job_failed", job=hashes[1], error="E", message="m")
+        journal.append("heartbeat", job=hashes[0], sim_ns=900, events=55)
+        doc = journal_status(spec, store)
+        (running,) = doc["running"]
+        assert running["job"] == hashes[0]
+        assert running["sim_ns"] == 900 and running["events"] == 55
