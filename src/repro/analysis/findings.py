@@ -30,7 +30,12 @@ _SUPPRESS_RE = re.compile(
 
 @dataclass(frozen=True)
 class Finding:
-    """One rule violation at one source location."""
+    """One rule violation at one source location.
+
+    ``witness`` is the dataflow evidence chain for whole-project
+    findings (unit origins, taint call paths, lock-cycle acquire
+    sites), one hop per entry; empty for per-file findings.
+    """
 
     rule: str
     path: str
@@ -39,12 +44,14 @@ class Finding:
     message: str
     suppressed: bool = False
     reason: str = ""
+    witness: Tuple[str, ...] = ()
 
     def format(self) -> str:
         """Render as a conventional ``path:line:col: RULE message`` line."""
         tail = f"  [suppressed: {self.reason}]" if self.suppressed else ""
+        where = "".join(f"\n    witness: {hop}" for hop in self.witness)
         return (f"{self.path}:{self.line}:{self.col}: "
-                f"{self.rule} {self.message}{tail}")
+                f"{self.rule} {self.message}{tail}{where}")
 
 
 @dataclass(frozen=True)

@@ -22,7 +22,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from repro.common.iorequest import IORequest
-from repro.common.units import transfer_ns
+from repro.common.units import US, transfer_ns
 from repro.sim import Resource
 from repro.ssd.config import SSDConfig
 
@@ -163,7 +163,7 @@ class MQSimModel(_BaselineModel):
     """
 
     name = "mqsim"
-    PROTOCOL_NS = 14_000      # fixed protocol management latency
+    PROTOCOL_US = 14          # fixed protocol management latency
     CACHE_PORT_NS = 2_200     # single DRAM cache port, per page
 
     def _build(self, sim) -> None:
@@ -175,7 +175,7 @@ class MQSimModel(_BaselineModel):
     def service(self, req: IORequest):
         geom = self.config.geometry
         pages = self._map_pages(req)
-        yield self.sim.timeout(self.PROTOCOL_NS)
+        yield self.sim.timeout(self.PROTOCOL_US * US)
         if req.kind.is_write:
             # every write lands in the DRAM cache through one port; the
             # model never charges a drain, so bandwidth keeps climbing

@@ -1,0 +1,15 @@
+"""SIM201 fixture: mixed-unit arithmetic the unit lattice can prove."""
+
+from repro.common.units import NS
+
+
+def total_latency_ns(lat_ns, nbytes):
+    return lat_ns + nbytes          # ns + bytes
+
+
+def queue_depth_check(depth_pages, span_lba):
+    return depth_pages < span_lba   # pages compared with sectors
+
+
+def scaled_wait_ns(wait_us, pad_ns):
+    return wait_us * pad_ns * NS    # time * time product

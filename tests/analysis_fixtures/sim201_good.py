@@ -1,0 +1,15 @@
+"""SIM201 fixture: every unit meets its own kind."""
+
+from repro.common.units import US, transfer_ns
+
+
+def total_latency_ns(lat_ns, nbytes, bandwidth):
+    return lat_ns + transfer_ns(nbytes, bandwidth)
+
+
+def queue_depth_check(depth_pages, span_pages):
+    return depth_pages < span_pages
+
+
+def scaled_wait_ns(wait_us, pad_ns):
+    return wait_us * US + pad_ns

@@ -1,0 +1,14 @@
+"""SIM202 fixture: values changing units as they flow."""
+
+
+def mislabel(nbytes):
+    lat_ns = nbytes                 # bytes stored under an ns name
+    return lat_ns
+
+
+def wait(sim, delay_ns):
+    yield sim.timeout(delay_ns)
+
+
+def caller(sim, delay_us):
+    yield from wait(sim, delay_us)  # us passed for an ns parameter

@@ -1,0 +1,10 @@
+"""SIM203 fixture: hand-rolled byte->time math with a bare literal."""
+
+
+def drain(sim, nbytes):
+    yield sim.timeout(nbytes * 3)       # ad-hoc "bandwidth" constant
+
+
+def settle(sim, nbytes):
+    total_ns = nbytes // 2              # raw literal, lands in an ns name
+    yield sim.timeout(total_ns)

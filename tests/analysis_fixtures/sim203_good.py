@@ -1,0 +1,12 @@
+"""SIM203 fixture: byte->time conversion through the sanctioned helpers."""
+
+from repro.common.units import ns_per_byte, transfer_ns
+
+
+def drain(sim, nbytes, bandwidth):
+    yield sim.timeout(transfer_ns(nbytes, bandwidth))
+
+
+def settle(sim, nbytes, bandwidth):
+    total_ns = round(nbytes * ns_per_byte(bandwidth))
+    yield sim.timeout(total_ns)

@@ -1,0 +1,15 @@
+"""SIM210 fixture: state derives from sim.now and sorted sequences."""
+
+
+class Gauge:
+    def _sample(self, sim):
+        return sim.now
+
+    def record(self, sim):
+        self.last_sample = self._sample(sim)
+
+    def _ordered_tags(self):
+        return sorted({"read", "program", "erase"})
+
+    def snapshot(self):
+        self.order = self._ordered_tags()

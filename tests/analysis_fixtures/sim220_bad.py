@@ -1,0 +1,25 @@
+"""SIM220 fixture: two paths acquire die/channel in opposite orders."""
+
+
+class Backend:
+    def read(self, sim):
+        yield self.die.acquire()
+        try:
+            yield self.channel.acquire()
+            try:
+                yield sim.timeout(5)
+            finally:
+                self.channel.release()
+        finally:
+            self.die.release()
+
+    def program(self, sim):
+        yield self.channel.acquire()    # inverted: channel before die
+        try:
+            yield self.die.acquire()
+            try:
+                yield sim.timeout(7)
+            finally:
+                self.die.release()
+        finally:
+            self.channel.release()

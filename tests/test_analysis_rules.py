@@ -18,6 +18,7 @@ import pytest
 import repro
 from repro.analysis import all_rules, lint_paths, lint_source
 from repro.analysis.findings import META_RULE, parse_suppressions
+from repro.analysis.registry import all_project_rules
 
 FIXTURES = Path(__file__).parent / "analysis_fixtures"
 
@@ -25,6 +26,9 @@ FIXTURES = Path(__file__).parent / "analysis_fixtures"
 #: in test_analysis_selfcheck.py; SIM100 is the meta-rule, tested below)
 FIXTURE_RULES = ("SIM101", "SIM102", "SIM103", "SIM104",
                  "SIM105", "SIM106", "SIM107", "SIM109", "SIM110")
+
+#: whole-project (simflow) rules, also covered by bad/good pairs
+PROJECT_FIXTURE_RULES = ("SIM201", "SIM202", "SIM203", "SIM210", "SIM220")
 
 #: a path inside a designated wall-clock module (SIM110 allowlist), so
 #: suppression-semantics tests exercise SIM101/SIM100 in isolation
@@ -42,27 +46,39 @@ class TestRegistry:
         rules = all_rules()
         assert [r.id for r in rules] == sorted(FIXTURE_RULES + ("SIM108",))
 
+    def test_every_project_rule_registered_once(self):
+        rules = all_project_rules()
+        assert [r.id for r in rules] == sorted(PROJECT_FIXTURE_RULES)
+
     def test_rules_carry_name_and_rationale(self):
-        for rule in all_rules():
+        for rule in all_rules() + all_project_rules():
             assert rule.name, rule.id
             assert len(rule.rationale) > 20, rule.id
 
     def test_meta_rule_is_not_registered(self):
         # SIM100 is reserved for the suppression machinery itself
         assert META_RULE not in {r.id for r in all_rules()}
+        assert META_RULE not in {r.id for r in all_project_rules()}
+
+    def test_rule_families_share_one_id_space(self):
+        ids = [r.id for r in all_rules()] + \
+            [r.id for r in all_project_rules()]
+        assert len(ids) == len(set(ids))
 
 
 # -- fixture pairs ------------------------------------------------------------
 
 class TestFixturePairs:
-    @pytest.mark.parametrize("rule_id", FIXTURE_RULES)
+    @pytest.mark.parametrize("rule_id",
+                             FIXTURE_RULES + PROJECT_FIXTURE_RULES)
     def test_bad_fixture_trips_the_rule(self, rule_id):
         path = FIXTURES / f"{rule_id.lower()}_bad.py"
         findings = lint_source(str(path))
         assert rule_id in _rule_ids(findings), \
             f"{path.name} did not trigger {rule_id}"
 
-    @pytest.mark.parametrize("rule_id", FIXTURE_RULES)
+    @pytest.mark.parametrize("rule_id",
+                             FIXTURE_RULES + PROJECT_FIXTURE_RULES)
     def test_good_fixture_is_clean(self, rule_id):
         path = FIXTURES / f"{rule_id.lower()}_good.py"
         findings = [f for f in lint_source(str(path)) if not f.suppressed]
@@ -71,9 +87,17 @@ class TestFixturePairs:
 
     def test_fixture_directory_is_paired(self):
         names = {p.name for p in FIXTURES.glob("sim*.py")}
-        for rule_id in FIXTURE_RULES:
+        for rule_id in FIXTURE_RULES + PROJECT_FIXTURE_RULES:
             assert f"{rule_id.lower()}_bad.py" in names
             assert f"{rule_id.lower()}_good.py" in names
+
+    @pytest.mark.parametrize("rule_id", PROJECT_FIXTURE_RULES)
+    def test_project_findings_carry_witness(self, rule_id):
+        path = FIXTURES / f"{rule_id.lower()}_bad.py"
+        hits = [f for f in lint_source(str(path))
+                if f.rule == rule_id and not f.suppressed]
+        assert hits and all(f.witness for f in hits), \
+            f"{rule_id} findings should explain themselves"
 
 
 # -- suppression semantics ----------------------------------------------------
@@ -157,12 +181,14 @@ class TestCli:
         proc = _run_cli("lint", "--json", str(FIXTURES / "sim107_bad.py"))
         assert proc.returncode == 1
         doc = json.loads(proc.stdout)
-        assert any(f["rule"] == "SIM107" for f in doc)
+        assert doc["schema"] == "repro.analysis/1"
+        assert any(f["rule"] == "SIM107" for f in doc["findings"])
+        assert doc["summary"]["exit_code"] == 1
 
     def test_rules_subcommand_lists_catalog(self):
         proc = _run_cli("rules")
         assert proc.returncode == 0
-        for rule_id in FIXTURE_RULES + ("SIM108",):
+        for rule_id in FIXTURE_RULES + ("SIM108",) + PROJECT_FIXTURE_RULES:
             assert rule_id in proc.stdout
 
 

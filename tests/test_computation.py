@@ -3,6 +3,7 @@
 import pytest
 
 from repro.common.instructions import CLASSES, InstructionMix
+from repro.common.units import SEC
 from repro.sim import Simulator
 from repro.ssd.computation.cores import FIRMWARE_ROLES, CpuComplex, EmbeddedCore
 from repro.ssd.computation.dram import InternalDram
@@ -139,7 +140,7 @@ class TestInternalDram:
             yield from dram.access(0, nbytes)
 
         sim.run_process(scenario())
-        ideal_ns = nbytes / dram.config.bandwidth * 1e9
+        ideal_ns = nbytes / dram.config.bandwidth * SEC
         assert sim.now >= ideal_ns
 
     def test_energy_components(self, sim):
